@@ -1,0 +1,295 @@
+package liveupdate
+
+// Benchmark harness: one Benchmark per paper table/figure (regenerating the
+// experiment in quick mode) plus micro-benchmarks of the hot paths and the
+// ablation benches DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute wall-clock numbers are simulation costs, not testbed performance;
+// the experiment *outputs* (the virtual-time results) carry the comparison.
+
+import (
+	"testing"
+
+	"liveupdate/internal/collective"
+	"liveupdate/internal/dlrm"
+	"liveupdate/internal/emt"
+	"liveupdate/internal/experiments"
+	"liveupdate/internal/lora"
+	"liveupdate/internal/numasim"
+	"liveupdate/internal/simnet"
+	"liveupdate/internal/tensor"
+	"liveupdate/internal/trace"
+	"liveupdate/internal/update"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.Registry()[id]
+	if runner == nil {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := runner(experiments.Options{Seed: 7, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkTable2Datasets(b *testing.B)        { benchExperiment(b, "table2") }
+func BenchmarkFig3aUpdateRatio(b *testing.B)      { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bStalenessDecay(b *testing.B)   { benchExperiment(b, "fig3b") }
+func BenchmarkFig4CPUUtilization(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5PowerOverhead(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6GradientPCA(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig8UpdateTimeline(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9SyncInterval(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10MemoryPressure(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11L3HitRatio(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12AccessCDF(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig14UpdateCost(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkTable3AUCComparison(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkFig15AccuracyTrace(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16P99Ablation(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17MemoryFootprint(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18PowerUtilization(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19Scalability(b *testing.B)      { benchExperiment(b, "fig19") }
+
+// --- Micro-benchmarks of the hot paths ---
+
+func benchServingProfile() Profile {
+	p := Profiles()["criteo"]
+	p.NumTables = 4
+	p.TableSize = 1000
+	p.NumDense = 8
+	p.MultiHot = []int{1, 1, 1, 2}
+	return p
+}
+
+// BenchmarkServeRequest measures the end-to-end serving path: memory-model
+// accesses, DLRM forward, ring-buffer push, latency tracking.
+func BenchmarkServeRequest(b *testing.B) {
+	p := benchServingProfile()
+	sys, err := New(DefaultOptions(p, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := NewWorkload(p, 2)
+	samples := make([]Sample, 1024)
+	for i := range samples {
+		samples[i] = gen.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Serve(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkLoRATrainStep measures one co-located LoRA training step
+// (forward + backward + factor update, dense layers frozen).
+func BenchmarkLoRATrainStep(b *testing.B) {
+	p := benchServingProfile()
+	rng := tensor.NewRNG(3)
+	model := dlrm.MustNewModel(dlrm.ConfigForProfile(p), rng)
+	base := emt.NewGroup(p.NumTables, p.TableSize, p.EmbeddingDim, rng)
+	set := lora.MustNewSet(base, lora.DefaultConfig(p.TableSize, p.EmbeddingDim))
+	gen := NewWorkload(p, 4)
+	samples := make([]Sample, 512)
+	for i := range samples {
+		samples[i] = gen.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := samples[i%len(samples)]
+		var cache dlrm.ForwardCache
+		logit := model.Forward(set, s.Dense, s.Sparse, &cache)
+		dLogit := dlrm.Sigmoid(logit) - float64(s.Label)
+		dEmb := model.Backward(dLogit, &cache)
+		model.Bottom.ZeroGrad()
+		model.Top.ZeroGrad()
+		for t, g := range dEmb {
+			set.ApplyGrad(t, s.Sparse[t], g, 0.05)
+		}
+	}
+}
+
+// BenchmarkSVD measures the one-sided Jacobi SVD on a gradient-window-sized
+// matrix (256×16), the kernel behind rank adaptation.
+func BenchmarkSVD(b *testing.B) {
+	rng := tensor.NewRNG(5)
+	m := tensor.RandomMatrix(rng, 256, 16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.ComputeSVD(m)
+	}
+}
+
+// BenchmarkEmbeddingLookup measures multi-hot pooled lookup.
+func BenchmarkEmbeddingLookup(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	tab := emt.NewTable("bench", 10000, 16, rng)
+	ids := []int32{1, 77, 4096}
+	dst := make([]float64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(ids, dst)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// BenchmarkAblationRankResize compares shrink (SVD re-projection) and grow
+// (zero-pad) resize costs on a populated adapter.
+func BenchmarkAblationRankResize(b *testing.B) {
+	cfg := lora.DefaultConfig(2000, 16)
+	cfg.InitialRank = 8
+	grad := make([]float64, 16)
+	for i := range grad {
+		grad[i] = 0.1 * float64(i)
+	}
+	// One populated adapter is reused; each iteration cycles the rank so
+	// both the SVD-re-projection (shrink) and zero-pad (grow) paths run.
+	populate := func() *lora.Adapter {
+		a := lora.MustNewAdapter(cfg)
+		for id := int32(0); id < 500; id++ {
+			a.Train([]int32{id}, grad, 0.05)
+		}
+		return a
+	}
+	b.Run("shrink-grow-cycle", func(b *testing.B) {
+		a := populate()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				a.Resize(4)
+			} else {
+				a.Resize(8)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSyncProtocol compares the sparse priority-merge protocol
+// (Algorithm 3) against a naive dense exchange in moved bytes and time.
+func BenchmarkAblationSyncProtocol(b *testing.B) {
+	makeReplicas := func() []*lora.Set {
+		replicas := make([]*lora.Set, 4)
+		for i := range replicas {
+			base := emt.NewGroup(2, 2000, 16, tensor.NewRNG(9))
+			cfg := lora.DefaultConfig(2000, 16)
+			cfg.Seed = uint64(i)
+			replicas[i] = lora.MustNewSet(base, cfg)
+		}
+		grad := make([]float64, 16)
+		grad[0] = 1
+		for r, rep := range replicas {
+			for k := 0; k < 50; k++ {
+				rep.ApplyGrad(0, []int32{int32(r*50 + k)}, grad, 0.05)
+			}
+		}
+		return replicas
+	}
+	grad := make([]float64, 16)
+	grad[0] = 1
+	b.Run("priority-merge", func(b *testing.B) {
+		replicas := makeReplicas()
+		sg := collective.NewSyncGroup(replicas, simnet.Gbps100, 0.001)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A little fresh work per cycle, then the sparse sync.
+			replicas[i%4].ApplyGrad(0, []int32{int32(i % 2000)}, grad, 0.05)
+			if _, err := sg.Sync(simnet.NewClock()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-dense", func(b *testing.B) {
+		// Naive alternative: every rank ships its full adapter state (all A
+		// rows of the table at current rank) regardless of modification.
+		for i := 0; i < b.N; i++ {
+			clock := simnet.NewClock()
+			link := simnet.NewLink(simnet.Gbps100, 0.001)
+			for r := 0; r < 4; r++ {
+				denseBytes := int64(2 * 2000 * 4 * 8) // 2 tables, full A at rank 4
+				link.TransferAndWait(clock, denseBytes)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationQoSThresholds sweeps Algorithm 2's hysteresis thresholds,
+// reporting controller responsiveness under a saw-tooth P99 signal.
+func BenchmarkAblationQoSThresholds(b *testing.B) {
+	for _, spread := range []struct {
+		name      string
+		high, low float64
+	}{
+		{"tight-8/7ms", 0.008, 0.007},
+		{"paper-10/6ms", 0.010, 0.006},
+		{"wide-15/3ms", 0.015, 0.003},
+	} {
+		b.Run(spread.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runControllerSweep(b, spread.high, spread.low)
+			}
+		})
+	}
+}
+
+func runControllerSweep(b *testing.B, high, low float64) {
+	b.Helper()
+	clock := simnet.NewClock()
+	machine, err := numasim.NewMachine(numasim.DefaultConfig(), clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctlCfg := numasim.DefaultControllerConfig(machine.Config().NumCCDs)
+	ctlCfg.THigh = high
+	ctlCfg.TLow = low
+	ctl, err := numasim.NewController(ctlCfg, machine, clock, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p99 := 0.002
+	up := true
+	for step := 0; step < 200; step++ {
+		clock.Advance(1.1)
+		ctl.Observe(p99)
+		if up {
+			p99 += 0.001
+			if p99 > 0.018 {
+				up = false
+			}
+		} else {
+			p99 -= 0.001
+			if p99 < 0.002 {
+				up = true
+			}
+		}
+	}
+}
+
+// BenchmarkAblationClockOverhead measures the discrete-event substrate
+// itself: virtual-clock transfers must be cheap enough to never dominate.
+func BenchmarkAblationClockOverhead(b *testing.B) {
+	clock := simnet.NewClock()
+	link := simnet.NewLink(simnet.Gbps100, 0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.TransferAndWait(clock, 1<<20)
+	}
+}
+
+// BenchmarkCostModel measures the Fig 14 arithmetic.
+func BenchmarkCostModel(b *testing.B) {
+	cm := update.DefaultCostModel(trace.Profiles()["bd-tb"])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []update.Kind{update.DeltaUpdate, update.QuickUpdate, update.LiveUpdate} {
+			cm.HourlyCost(k, 300)
+		}
+	}
+}

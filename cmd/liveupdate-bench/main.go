@@ -1,0 +1,52 @@
+// Command liveupdate-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	liveupdate-bench -exp fig14            # one experiment, full fidelity
+//	liveupdate-bench -exp all -quick       # everything, reduced samples
+//	liveupdate-bench -list                 # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"liveupdate"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig3a..fig19, table2, table3) or 'all'")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	quick := flag.Bool("quick", false, "reduced sample counts (smoke run)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range liveupdate.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := liveupdate.ExperimentIDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		out, err := liveupdate.RunExperiment(id, *seed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

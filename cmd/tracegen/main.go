@@ -1,0 +1,59 @@
+// Command tracegen emits a synthetic drifting CTR trace as CSV for
+// inspection or external tooling.
+//
+// Usage:
+//
+//	tracegen -profile bd-tb -n 1000 > trace.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"liveupdate"
+)
+
+func main() {
+	profileName := flag.String("profile", "criteo", "dataset profile")
+	n := flag.Int("n", 1000, "samples to generate")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	windowSec := flag.Float64("window", 300, "virtual seconds spanned by the trace")
+	flag.Parse()
+
+	profile, err := liveupdate.ProfileByName(*profileName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := liveupdate.NewWorkload(profile, *seed)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	// Header: time, label, dense features, per-table id lists.
+	fmt.Fprint(w, "time,label")
+	for i := 0; i < profile.NumDense; i++ {
+		fmt.Fprintf(w, ",dense%d", i)
+	}
+	for t := 0; t < profile.NumTables; t++ {
+		fmt.Fprintf(w, ",table%d", t)
+	}
+	fmt.Fprintln(w)
+
+	for _, s := range gen.Batch(*n, *windowSec) {
+		fmt.Fprintf(w, "%.3f,%d", s.Time, s.Label)
+		for _, d := range s.Dense {
+			fmt.Fprintf(w, ",%.5f", d)
+		}
+		for _, ids := range s.Sparse {
+			parts := make([]string, len(ids))
+			for i, id := range ids {
+				parts[i] = fmt.Sprintf("%d", id)
+			}
+			fmt.Fprintf(w, ",%s", strings.Join(parts, ";"))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,68 @@
+// Colocation: the QoS story of paper Fig 16. Run the same co-located
+// serving+training workload under four isolation configurations and compare
+// tail latency and cache behaviour — naive co-location breaches the SLA,
+// NUMA-aware scheduling plus embedding-vector reuse restore it.
+package main
+
+import (
+	"fmt"
+
+	"liveupdate"
+)
+
+func main() {
+	profile, err := liveupdate.ProfileByName("bd-tb")
+	if err != nil {
+		panic(err)
+	}
+	profile.NumTables = 4
+	profile.TableSize = 600
+	profile.NumDense = 8
+	profile.MultiHot = []int{1, 1, 1, 2}
+
+	type config struct {
+		name                   string
+		training, sched, reuse bool
+	}
+	configs := []config{
+		{"Only Infer (floor)", false, false, false},
+		{"w/o Opt (naive)", true, false, false},
+		{"w/ Scheduling", true, true, false},
+		{"w/ Reuse+Scheduling", true, true, true},
+	}
+
+	fmt.Println("Performance isolation ablation (paper Fig 16)")
+	fmt.Printf("%-22s %-10s %-12s %-12s %-12s\n",
+		"config", "P99(ms)", "violations", "train_hit", "infer_hit")
+
+	for _, c := range configs {
+		opts := liveupdate.DefaultOptions(profile, 21)
+		opts.EnableTraining = c.training
+		opts.EnableScheduling = c.sched
+		opts.EnableReuse = c.reuse
+		// Scaled hardware so contention is visible on demo-sized tables.
+		opts.Node.GPUDenseTime = 0.001
+		opts.Machine.L3BlocksPerCCD = 48
+		opts.Machine.DRAMBandwidth = 1e7
+		opts.Machine.Concurrency = 32
+		opts.TrainInterval = 4
+
+		sys, err := liveupdate.New(opts)
+		if err != nil {
+			panic(err)
+		}
+		gen := liveupdate.NewWorkload(profile, 77)
+		for i := 0; i < 3000; i++ {
+			sys.Serve(gen.Next())
+		}
+		fmt.Printf("%-22s %-10.3f %-12.4f %-12.3f %-12.3f\n",
+			c.name,
+			sys.Node.P99()*1000,
+			sys.Node.ViolationRate(),
+			sys.Machine.HitRatio(liveupdate.WorkloadTraining),
+			sys.Machine.HitRatio(liveupdate.WorkloadInference))
+	}
+	fmt.Println("\nExpected shape: naive co-location inflates P99 well above the")
+	fmt.Println("floor; scheduling isolates the caches; reuse removes the trainer's")
+	fmt.Println("DRAM traffic — together P99 returns near the inference-only floor.")
+}

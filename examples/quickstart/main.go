@@ -1,0 +1,52 @@
+// Quickstart: build a LiveUpdate system, serve a drifting CTR stream, and
+// watch the co-located LoRA trainer keep the model fresh at near-zero
+// serving overhead.
+package main
+
+import (
+	"fmt"
+
+	"liveupdate"
+)
+
+func main() {
+	// 1. Pick a dataset profile (paper Table II) and shrink it for a demo.
+	profile, err := liveupdate.ProfileByName("criteo")
+	if err != nil {
+		panic(err)
+	}
+	profile.TableSize = 1000
+
+	// 2. Build the full system: serving + co-located LoRA trainer with
+	// NUMA-aware isolation and embedding-vector reuse.
+	sys, err := liveupdate.New(liveupdate.DefaultOptions(profile, 42))
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Serve a synthetic stream whose ground truth drifts over time.
+	gen := liveupdate.NewWorkload(profile, 42)
+	const requests = 5000
+	for i := 0; i < requests; i++ {
+		sys.Serve(gen.Next())
+	}
+
+	// 4. Inspect the outcome: tail latency, training activity, memory cost.
+	fmt.Println("LiveUpdate quickstart")
+	fmt.Printf("  requests served:        %d\n", sys.Node.Served())
+	fmt.Printf("  P99 latency:            %.3f ms (SLA %.0f ms)\n",
+		sys.Node.P99()*1000, sys.Opts.Node.SLA*1000)
+	fmt.Printf("  SLA violation rate:     %.4f\n", sys.Node.ViolationRate())
+	fmt.Printf("  co-located train steps: %d\n", sys.TrainSteps())
+	fmt.Printf("  LoRA memory overhead:   %.2f%% of EMTs\n", sys.MemoryOverhead()*100)
+	fmt.Println("  (demo tables are tiny, so the resident hot set is a larger share;")
+	fmt.Println("   at production scale the same pruning yields <2% — see fig17)")
+	fmt.Printf("  virtual time elapsed:   %.1f s\n", sys.Clock.Now())
+
+	active := 0
+	for _, a := range sys.LoRA.Adapters {
+		active += a.ActiveCount()
+	}
+	fmt.Printf("  active LoRA rows:       %d (rank %d)\n",
+		active, sys.LoRA.Adapters[0].Rank())
+}

@@ -1,0 +1,224 @@
+// Package collective implements the cross-node communication layer of
+// LiveUpdate: a tree/recursive-doubling AllGather with O(log N) rounds (the
+// Gloo substitute behind paper Fig 19) and the sparse data-parallel
+// priority-merge protocol of Algorithm 3.
+package collective
+
+import (
+	"fmt"
+	"math"
+
+	"liveupdate/internal/lora"
+	"liveupdate/internal/simnet"
+)
+
+// AllGatherRounds returns the number of communication rounds recursive
+// doubling needs for n participants: ceil(log2(n)).
+func AllGatherRounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// AllGatherTime returns the virtual duration of a recursive-doubling
+// AllGather where every node contributes bytesPerNode, over uniform links
+// with the given bandwidth/latency. In round r each node exchanges its
+// accumulated 2^r·bytesPerNode block with its partner; both directions
+// overlap (full duplex), so a round costs latency + blockBytes/bandwidth.
+// Total data held per node at the end is n·bytesPerNode; total time is
+// O(log n) in latency and O(n) in bytes — the favorable scaling of Fig 19.
+func AllGatherTime(n int, bytesPerNode int64, bandwidthBps, latencySec float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if bytesPerNode < 0 {
+		panic("collective: negative payload")
+	}
+	if bandwidthBps <= 0 {
+		panic("collective: bandwidth must be positive")
+	}
+	total := 0.0
+	block := float64(bytesPerNode)
+	for r := 0; r < AllGatherRounds(n); r++ {
+		total += latencySec + block/bandwidthBps
+		block *= 2
+	}
+	return total
+}
+
+// BroadcastTime returns the virtual duration of a binomial-tree broadcast of
+// size bytes to n nodes: ceil(log2(n)) rounds, each shipping the full
+// payload one hop.
+func BroadcastTime(n int, size int64, bandwidthBps, latencySec float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	rounds := AllGatherRounds(n)
+	per := latencySec + float64(size)/bandwidthBps
+	return float64(rounds) * per
+}
+
+// AllGatherOnNetwork executes a recursive-doubling AllGather on an actual
+// simnet.Network, respecting per-link queueing, and advances the clock to
+// completion. It returns the elapsed virtual time. For non-power-of-two n
+// the exchange partner wraps modulo n (a standard dissemination variant).
+func AllGatherOnNetwork(c *simnet.Clock, net *simnet.Network, bytesPerNode int64) float64 {
+	n := net.N
+	if n <= 1 {
+		return 0
+	}
+	start := c.Now()
+	block := bytesPerNode
+	for r := 0; r < AllGatherRounds(n); r++ {
+		dist := 1 << r
+		roundEnd := c.Now()
+		for i := 0; i < n; i++ {
+			j := (i + dist) % n
+			if j == i {
+				continue
+			}
+			done := net.Send(c, i, j, block)
+			if done > roundEnd {
+				roundEnd = done
+			}
+		}
+		c.AdvanceTo(roundEnd)
+		block *= 2
+	}
+	return c.Now() - start
+}
+
+// MergeStats describes one priority-merge synchronization.
+type MergeStats struct {
+	Participants int
+	RowsMerged   int   // distinct (table, id) rows in the merged state
+	Conflicts    int   // rows modified by more than one rank
+	PayloadBytes int64 // sum of all exported payloads (the AllGather volume)
+}
+
+// PriorityMerge implements Algorithm 3 lines 8-11: given the exported LoRA
+// states of R ranks (index = rank id), it computes the union of modified
+// rows per table, resolving conflicts deterministically in favor of the
+// highest rank id, and adopts the highest participating rank's B factor.
+func PriorityMerge(states [][]lora.TableState) ([]lora.TableState, MergeStats, error) {
+	if len(states) == 0 {
+		return nil, MergeStats{}, fmt.Errorf("collective: no states to merge")
+	}
+	numTables := len(states[0])
+	for r, st := range states {
+		if len(st) != numTables {
+			return nil, MergeStats{}, fmt.Errorf("collective: rank %d has %d tables, want %d",
+				r, len(st), numTables)
+		}
+	}
+	stats := MergeStats{Participants: len(states)}
+	for _, st := range states {
+		stats.PayloadBytes += lora.PayloadBytes(st)
+	}
+
+	merged := make([]lora.TableState, numTables)
+	for t := 0; t < numTables; t++ {
+		winner := make(map[int32]lora.RowUpdate)
+		seen := make(map[int32]int)
+		// Ranks are visited in ascending order; later (higher) ranks
+		// overwrite: k = max{r | i ∈ S_r}.
+		for r := 0; r < len(states); r++ {
+			for _, u := range states[r][t].Rows {
+				if _, dup := winner[u.ID]; dup {
+					if seen[u.ID] == 1 {
+						stats.Conflicts++ // count each conflicting id once
+					}
+					seen[u.ID]++
+				} else {
+					seen[u.ID] = 1
+				}
+				winner[u.ID] = u
+			}
+		}
+		rows := make([]lora.RowUpdate, 0, len(winner))
+		for _, u := range winner {
+			rows = append(rows, u)
+		}
+		sortRowUpdates(rows)
+		stats.RowsMerged += len(rows)
+
+		// B: highest rank that reported a state wins (all ranks report, so
+		// this is simply the last rank's B — deterministic across replicas).
+		last := states[len(states)-1][t]
+		merged[t] = lora.TableState{Rows: rows, B: last.B, Rank: last.Rank}
+	}
+	return merged, stats, nil
+}
+
+func sortRowUpdates(rows []lora.RowUpdate) {
+	// Insertion sort: row counts per sync are modest and this avoids an
+	// import cycle-prone helper; ids are nearly sorted already (map drain
+	// order is random but sets are small).
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].ID < rows[j-1].ID; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// SyncGroup coordinates R replica lora.Sets through periodic priority-merge
+// synchronization (the Sync step of paper Fig 7, step 3).
+//
+// Replica consistency after Sync requires the replicas to share a common
+// LoRA rank: Algorithm 3 exchanges factor rows (A[i]) plus the shared B, so
+// independently rank-adapted replicas would hold structurally incompatible
+// factors. Deployments coordinate rank changes out of band (e.g. with the
+// hourly full sync); replicas here should either disable local rank
+// adaptation or adapt in lockstep.
+type SyncGroup struct {
+	Replicas []*lora.Set
+
+	BandwidthBps float64
+	LatencySec   float64
+
+	syncs      int
+	totalBytes int64
+	totalTime  float64
+}
+
+// NewSyncGroup wraps the replica sets with uniform link parameters.
+func NewSyncGroup(replicas []*lora.Set, bandwidthBps, latencySec float64) *SyncGroup {
+	return &SyncGroup{Replicas: replicas, BandwidthBps: bandwidthBps, LatencySec: latencySec}
+}
+
+// Sync exports all replicas' supports, priority-merges them, applies the
+// merged state everywhere, resets supports, and advances the clock by the
+// AllGather + broadcast cost. It returns the merge statistics.
+func (sg *SyncGroup) Sync(c *simnet.Clock) (MergeStats, error) {
+	states := make([][]lora.TableState, len(sg.Replicas))
+	var maxPayload int64
+	for i, r := range sg.Replicas {
+		states[i] = r.ExportState()
+		if p := lora.PayloadBytes(states[i]); p > maxPayload {
+			maxPayload = p
+		}
+	}
+	merged, stats, err := PriorityMerge(states)
+	if err != nil {
+		return stats, err
+	}
+	for _, r := range sg.Replicas {
+		r.ApplyState(merged)
+		r.ResetSupports()
+	}
+	elapsed := AllGatherTime(len(sg.Replicas), maxPayload, sg.BandwidthBps, sg.LatencySec) +
+		BroadcastTime(len(sg.Replicas), lora.PayloadBytes(merged), sg.BandwidthBps, sg.LatencySec)
+	if c != nil {
+		c.Advance(elapsed)
+	}
+	sg.syncs++
+	sg.totalBytes += stats.PayloadBytes
+	sg.totalTime += elapsed
+	return stats, nil
+}
+
+// Stats returns cumulative sync count, bytes, and virtual seconds spent.
+func (sg *SyncGroup) Stats() (syncs int, bytes int64, seconds float64) {
+	return sg.syncs, sg.totalBytes, sg.totalTime
+}

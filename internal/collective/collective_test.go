@@ -1,0 +1,314 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"liveupdate/internal/emt"
+	"liveupdate/internal/lora"
+	"liveupdate/internal/simnet"
+	"liveupdate/internal/tensor"
+)
+
+func TestAllGatherRounds(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 16: 4, 48: 6}
+	for n, want := range cases {
+		if got := AllGatherRounds(n); got != want {
+			t.Fatalf("rounds(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAllGatherTimeLogScaling(t *testing.T) {
+	// Latency-dominated regime: time grows like log2(N) (paper Fig 19).
+	const bw = 1e12
+	const lat = 0.01
+	t2 := AllGatherTime(2, 1000, bw, lat)
+	t16 := AllGatherTime(16, 1000, bw, lat)
+	ratio := t16 / t2
+	if math.Abs(ratio-4) > 0.1 { // log2(16)/log2(2) = 4
+		t.Fatalf("latency scaling ratio %v, want ~4", ratio)
+	}
+	if AllGatherTime(1, 1000, bw, lat) != 0 {
+		t.Fatal("single node needs no communication")
+	}
+}
+
+func TestAllGatherTimeBytesScaling(t *testing.T) {
+	// Bandwidth-dominated: total bytes moved per node ≈ (n-1)·payload, so
+	// time ≈ (n-1)·payload/bw.
+	const bw = 1e6
+	got := AllGatherTime(8, 1000, bw, 0)
+	want := float64(7*1000) / bw
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bytes scaling time %v, want %v", got, want)
+	}
+}
+
+func TestBroadcastTime(t *testing.T) {
+	if BroadcastTime(1, 1000, 1e6, 0.01) != 0 {
+		t.Fatal("single-node broadcast is free")
+	}
+	got := BroadcastTime(8, 1000, 1e6, 0.01)
+	want := 3 * (0.01 + 1000/1e6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("broadcast time %v, want %v", got, want)
+	}
+}
+
+func TestAllGatherOnNetwork(t *testing.T) {
+	c := simnet.NewClock()
+	net := simnet.NewNetwork(4, 1e6, 0.001)
+	elapsed := AllGatherOnNetwork(c, net, 1000)
+	if elapsed <= 0 {
+		t.Fatal("allgather must take time")
+	}
+	if c.Now() != elapsed {
+		t.Fatal("clock must advance to completion")
+	}
+	// 2 rounds for n=4, payload doubles: round sizes 1000 then 2000.
+	if net.TotalBytesMoved() != 4*1000+4*2000 {
+		t.Fatalf("bytes moved %d", net.TotalBytesMoved())
+	}
+	// Single node: free.
+	c2 := simnet.NewClock()
+	if AllGatherOnNetwork(c2, simnet.NewNetwork(1, 1e6, 0.001), 1000) != 0 {
+		t.Fatal("single-node network allgather must be free")
+	}
+}
+
+func makeReplicas(n int) []*lora.Set {
+	rng := tensor.NewRNG(5)
+	replicas := make([]*lora.Set, n)
+	for i := range replicas {
+		base := emt.NewGroup(2, 50, 8, tensor.NewRNG(7)) // identical bases
+		cfg := lora.DefaultConfig(50, 8)
+		cfg.Seed = uint64(i)
+		replicas[i] = lora.MustNewSet(base, cfg)
+	}
+	_ = rng
+	return replicas
+}
+
+func trainOn(s *lora.Set, table int, id int32, seed uint64) {
+	rng := tensor.NewRNG(seed)
+	g := make([]float64, 8)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	for k := 0; k < 5; k++ {
+		s.ApplyGrad(table, []int32{id}, g, 0.05)
+	}
+}
+
+func TestPriorityMergeMaxRankWins(t *testing.T) {
+	replicas := makeReplicas(3)
+	// Ranks 0 and 2 both modify (table 0, id 7); rank 2 must win.
+	trainOn(replicas[0], 0, 7, 100)
+	trainOn(replicas[2], 0, 7, 200)
+	trainOn(replicas[1], 1, 3, 300)
+
+	states := [][]lora.TableState{
+		replicas[0].ExportState(),
+		replicas[1].ExportState(),
+		replicas[2].ExportState(),
+	}
+	merged, stats, err := PriorityMerge(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 3 {
+		t.Fatalf("participants %d", stats.Participants)
+	}
+	if stats.Conflicts != 1 {
+		t.Fatalf("conflicts %d, want 1", stats.Conflicts)
+	}
+	if stats.RowsMerged != 2 {
+		t.Fatalf("rows merged %d, want 2", stats.RowsMerged)
+	}
+	// The winning row for id 7 must be rank 2's.
+	var got lora.RowUpdate
+	found := false
+	for _, u := range merged[0].Rows {
+		if u.ID == 7 {
+			got = u
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("merged state missing id 7")
+	}
+	want := states[2][0].Rows
+	var wantRow lora.RowUpdate
+	for _, u := range want {
+		if u.ID == 7 {
+			wantRow = u
+		}
+	}
+	for i := range got.Row {
+		if got.Row[i] != wantRow.Row[i] {
+			t.Fatal("priority merge must take the max-rank row")
+		}
+	}
+}
+
+func TestPriorityMergeErrors(t *testing.T) {
+	if _, _, err := PriorityMerge(nil); err == nil {
+		t.Fatal("empty merge must error")
+	}
+	replicas := makeReplicas(2)
+	bad := [][]lora.TableState{
+		replicas[0].ExportState(),
+		replicas[1].ExportState()[:1], // table count mismatch
+	}
+	if _, _, err := PriorityMerge(bad); err == nil {
+		t.Fatal("table mismatch must error")
+	}
+}
+
+func TestSyncGroupConvergence(t *testing.T) {
+	// After Sync, all replicas must produce identical effective embeddings
+	// for every id any rank touched — the replica-consistency requirement of
+	// paper §II-C.
+	replicas := makeReplicas(4)
+	trainOn(replicas[0], 0, 5, 1)
+	trainOn(replicas[1], 0, 5, 2) // conflict with rank 0
+	trainOn(replicas[2], 1, 9, 3)
+	trainOn(replicas[3], 0, 30, 4)
+
+	sg := NewSyncGroup(replicas, simnet.Gbps100, 0.001)
+	c := simnet.NewClock()
+	stats, err := sg.Sync(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Conflicts != 1 {
+		t.Fatalf("conflicts %d, want 1", stats.Conflicts)
+	}
+	if c.Now() <= 0 {
+		t.Fatal("sync must consume virtual time")
+	}
+	ids := []struct {
+		table int
+		id    int32
+	}{{0, 5}, {1, 9}, {0, 30}}
+	for _, q := range ids {
+		ref := make([]float64, 8)
+		replicas[0].EffectiveRow(q.table, q.id, ref)
+		for r := 1; r < 4; r++ {
+			got := make([]float64, 8)
+			replicas[r].EffectiveRow(q.table, q.id, got)
+			for i := range ref {
+				if math.Abs(got[i]-ref[i]) > 1e-12 {
+					t.Fatalf("replica %d diverges on table %d id %d", r, q.table, q.id)
+				}
+			}
+		}
+	}
+	// Supports must be cleared.
+	for _, r := range replicas {
+		for _, a := range r.Adapters {
+			if a.SupportSize() != 0 {
+				t.Fatal("sync must reset supports")
+			}
+		}
+	}
+	syncs, bytes, secs := sg.Stats()
+	if syncs != 1 || bytes <= 0 || secs <= 0 {
+		t.Fatalf("stats %d %d %v", syncs, bytes, secs)
+	}
+}
+
+func TestSyncGroupIdempotentWhenQuiet(t *testing.T) {
+	replicas := makeReplicas(2)
+	sg := NewSyncGroup(replicas, simnet.Gbps100, 0.001)
+	c := simnet.NewClock()
+	if _, err := sg.Sync(c); err != nil {
+		t.Fatal(err)
+	}
+	// Second sync with no training in between must merge zero rows.
+	stats, err := sg.Sync(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsMerged != 0 || stats.Conflicts != 0 {
+		t.Fatalf("quiet sync merged %d rows", stats.RowsMerged)
+	}
+}
+
+func TestSyncIntervalAccuracyTradeoffSetup(t *testing.T) {
+	// Longer sync intervals accumulate more divergence (paper Fig 9's
+	// mechanism): verify replicas diverge before sync and agree after.
+	replicas := makeReplicas(2)
+	trainOn(replicas[0], 0, 5, 11)
+	a := make([]float64, 8)
+	b := make([]float64, 8)
+	replicas[0].EffectiveRow(0, 5, a)
+	replicas[1].EffectiveRow(0, 5, b)
+	diverged := false
+	for i := range a {
+		if a[i] != b[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("replicas should diverge before sync")
+	}
+	sg := NewSyncGroup(replicas, simnet.Gbps100, 0.001)
+	if _, err := sg.Sync(nil); err != nil { // nil clock allowed
+		t.Fatal(err)
+	}
+	replicas[0].EffectiveRow(0, 5, a)
+	replicas[1].EffectiveRow(0, 5, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replicas must agree after sync")
+		}
+	}
+}
+
+// Long-run version of the consistency test: replicas with a coordinated
+// (fixed) rank train for many steps on disjoint shards, including pruning
+// cycles, then a single sync must make every touched row identical across
+// replicas (the examples/cluster scenario).
+func TestSyncGroupConsistencyAfterLongRun(t *testing.T) {
+	const nodes = 3
+	replicas := make([]*lora.Set, nodes)
+	for i := range replicas {
+		base := emt.NewGroup(2, 200, 8, tensor.NewRNG(31)) // identical bases
+		cfg := lora.DefaultConfig(200, 8)
+		cfg.Seed = uint64(i)
+		cfg.DisableRankAdapt = true // rank coordinated out of band
+		cfg.AdaptInterval = 50      // pruning still cycles
+		replicas[i] = lora.MustNewSet(base, cfg)
+	}
+	rng := tensor.NewRNG(77)
+	g := make([]float64, 8)
+	for step := 0; step < 600; step++ {
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		table := step % 2
+		id := int32(rng.Intn(200))
+		replicas[step%nodes].ApplyGrad(table, []int32{id}, g, 0.05)
+	}
+	sg := NewSyncGroup(replicas, simnet.Gbps100, 0.001)
+	if _, err := sg.Sync(simnet.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, 8)
+	got := make([]float64, 8)
+	for table := 0; table < 2; table++ {
+		for id := int32(0); id < 200; id++ {
+			replicas[0].EffectiveRow(table, id, ref)
+			for r := 1; r < nodes; r++ {
+				replicas[r].EffectiveRow(table, id, got)
+				for i := range ref {
+					if math.Abs(got[i]-ref[i]) > 1e-12 {
+						t.Fatalf("replica %d diverges on table %d id %d after long run", r, table, id)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package core assembles the full LiveUpdate system of paper Fig 7: a
+// serving node with a co-located LoRA trainer on the same (simulated)
+// machine, the shadow-embedding-table reuse path, the adaptive CCD
+// partitioning controller (Algorithm 2), and the tiered update schedule
+// (local LoRA short-term, full sync mid-term).
+package core
+
+import (
+	"fmt"
+
+	"liveupdate/internal/dlrm"
+	"liveupdate/internal/emt"
+	"liveupdate/internal/lora"
+	"liveupdate/internal/numasim"
+	"liveupdate/internal/serving"
+	"liveupdate/internal/simnet"
+	"liveupdate/internal/tensor"
+	"liveupdate/internal/trace"
+)
+
+// Options configures a LiveUpdate system. The three Enable toggles map to
+// the Fig 16 ablation: training off = "Only Infer"; training on with both
+// optimizations off = "w/o Opt"; scheduling only = "w/ Scheduling"; both =
+// "w/ Reuse+Scheduling" (the full system).
+type Options struct {
+	Profile trace.Profile
+	Seed    uint64
+
+	Node       serving.NodeConfig
+	Machine    numasim.Config
+	Controller numasim.ControllerConfig
+	LoRA       lora.Config
+
+	EnableTraining   bool // co-locate the LoRA trainer
+	EnableScheduling bool // NUMA-aware CCD partitioning + Algorithm 2
+	EnableReuse      bool // shadow embedding table (prefetched reuse path)
+
+	TrainBatch    int     // samples per co-located training tick
+	TrainInterval int     // serve this many requests between training ticks
+	EmbLR         float64 // LoRA learning rate
+	InitialInfCCD int     // starting inference partition (scheduling on)
+}
+
+// DefaultOptions returns the full system configuration for a profile.
+func DefaultOptions(p trace.Profile, seed uint64) Options {
+	mcfg := numasim.DefaultConfig()
+	return Options{
+		Profile:          p,
+		Seed:             seed,
+		Node:             serving.DefaultNodeConfig(),
+		Machine:          mcfg,
+		Controller:       numasim.DefaultControllerConfig(mcfg.NumCCDs),
+		LoRA:             lora.DefaultConfig(p.TableSize, p.EmbeddingDim),
+		EnableTraining:   true,
+		EnableScheduling: true,
+		EnableReuse:      true,
+		TrainBatch:       16,
+		TrainInterval:    8,
+		EmbLR:            0.05,
+		InitialInfCCD:    mcfg.NumCCDs * 5 / 6,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if err := o.Profile.Validate(); err != nil {
+		return err
+	}
+	if o.EnableTraining {
+		if o.TrainBatch <= 0 {
+			return fmt.Errorf("core: TrainBatch must be positive")
+		}
+		if o.TrainInterval <= 0 {
+			return fmt.Errorf("core: TrainInterval must be positive")
+		}
+		if o.EmbLR <= 0 {
+			return fmt.Errorf("core: EmbLR must be positive")
+		}
+	}
+	return nil
+}
+
+// System is one LiveUpdate inference node: it serves requests and refreshes
+// its own embeddings from cached interactions, with performance isolation.
+type System struct {
+	Opts Options
+
+	Clock      *simnet.Clock
+	Machine    *numasim.Machine
+	Controller *numasim.Controller
+	Model      *dlrm.Model
+	Base       *emt.Group
+	LoRA       *lora.Set
+	Node       *serving.Node
+
+	trainRNG   *tensor.RNG
+	sinceTrain int
+	trainSteps uint64
+	fullSyncs  uint64
+	scratchSeq int32 // unique block ids for the naive trainer's scratch state
+}
+
+// New assembles a system from opts.
+func New(opts Options) (*System, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	clock := simnet.NewClock()
+	machine, err := numasim.NewMachine(opts.Machine, clock)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(opts.Seed ^ 0xc0de)
+	model, err := dlrm.NewModel(dlrm.ConfigForProfile(opts.Profile), rng)
+	if err != nil {
+		return nil, err
+	}
+	base := emt.NewGroup(opts.Profile.NumTables, opts.Profile.TableSize,
+		opts.Profile.EmbeddingDim, tensor.NewRNG(opts.Seed^0xe147))
+	lcfg := opts.LoRA
+	lcfg.Seed = opts.Seed
+	set, err := lora.NewSet(base, lcfg)
+	if err != nil {
+		return nil, err
+	}
+	node, err := serving.NewNode(opts.Node, model, set, machine, clock)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Opts:     opts,
+		Clock:    clock,
+		Machine:  machine,
+		Model:    model,
+		Base:     base,
+		LoRA:     set,
+		Node:     node,
+		trainRNG: tensor.NewRNG(opts.Seed ^ 0x7ea1),
+	}
+	if opts.EnableScheduling {
+		ctl, err := numasim.NewController(opts.Controller, machine, clock, opts.InitialInfCCD)
+		if err != nil {
+			return nil, err
+		}
+		s.Controller = ctl
+	}
+	return s, nil
+}
+
+// MustNew panics on option errors.
+func MustNew(opts Options) *System {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Serve processes one request through the serving path, interleaving
+// co-located training ticks per the configured cadence, and returns the
+// prediction and request latency.
+func (s *System) Serve(sample trace.Sample) (prob, latency float64) {
+	prob, latency = s.Node.Serve(sample)
+	if s.Opts.EnableTraining {
+		s.sinceTrain++
+		if s.sinceTrain >= s.Opts.TrainInterval {
+			s.sinceTrain = 0
+			s.TrainTick()
+			if s.Controller != nil {
+				s.Controller.Observe(s.Node.P99())
+			}
+		}
+	}
+	return prob, latency
+}
+
+// TrainTick runs one co-located training step: a mini-batch sampled from the
+// inference ring buffer, every embedding access charged to the machine model
+// (through the reuse path when enabled), and one LoRA SGD step per sample.
+// Dense layers stay frozen (paper Fig 7: only A and B receive gradients).
+func (s *System) TrainTick() {
+	batch := s.Node.Ring.Sample(s.trainRNG, s.Opts.TrainBatch)
+	if batch == nil {
+		return
+	}
+	numTables := int32(s.Opts.Profile.NumTables)
+	for _, sample := range batch {
+		// Charge the trainer's embedding traffic to the memory model. With
+		// reuse, reads go through the prefetched shadow table. Without it,
+		// the trainer touches its own replica blocks (a distinct address
+		// space) with read + write-back traffic — the naive full-replica
+		// pattern the paper calls out as cache-thrashing (§III-B O1, §IV-D).
+		memTime := 0.0
+		for t, ids := range sample.Sparse {
+			for _, id := range ids {
+				if s.Opts.EnableReuse {
+					memTime += s.Machine.Access(numasim.Training, numasim.KindReuse, int32(t), id)
+				} else {
+					// Replica embedding read plus optimizer/gradient scratch
+					// state. The scratch blocks are unique per step: streaming
+					// write traffic that no L3 can retain.
+					replica := numTables + int32(t)
+					memTime += s.Machine.Access(numasim.Training, numasim.KindCached, replica, id)
+					s.scratchSeq++
+					memTime += s.Machine.Access(numasim.Training, numasim.KindCached, 2*numTables, s.scratchSeq)
+				}
+			}
+		}
+		s.Clock.Advance(memTime)
+		// LoRA-only learning: base and dense weights frozen.
+		var cache dlrm.ForwardCache
+		logit := s.Model.Forward(s.LoRA, sample.Dense, sample.Sparse, &cache)
+		dLogit := dlrm.Sigmoid(logit) - float64(sample.Label)
+		dEmb := s.Model.Backward(dLogit, &cache)
+		s.Model.Bottom.ZeroGrad()
+		s.Model.Top.ZeroGrad()
+		for t, g := range dEmb {
+			s.LoRA.ApplyGrad(t, sample.Sparse[t], g, s.Opts.EmbLR)
+		}
+	}
+	s.trainSteps++
+}
+
+// TrainSteps returns the number of co-located training ticks executed.
+func (s *System) TrainSteps() uint64 { return s.trainSteps }
+
+// FullSync installs fresh base weights and dense parameters from a training
+// cluster (the hourly mid-term tier of Fig 8) and resets the adapters.
+func (s *System) FullSync(freshBase *emt.Group, freshModel *dlrm.Model) {
+	s.Base.CopyWeightsFrom(freshBase)
+	s.Model.CopyWeightsFrom(freshModel)
+	s.LoRA.ResetAdapters()
+	s.fullSyncs++
+}
+
+// FullSyncs returns the number of full-parameter syncs performed.
+func (s *System) FullSyncs() uint64 { return s.fullSyncs }
+
+// MemoryOverhead returns LoRA bytes / base EMT bytes (the paper's <2% claim).
+func (s *System) MemoryOverhead() float64 { return s.LoRA.OverheadRatio() }
+
+// Power returns the modeled node power draw given the inference duty cycle
+// in [0,1]; the training load is 1 when the co-located trainer is enabled.
+func (s *System) Power(infLoad float64) float64 {
+	trainLoad := 0.0
+	if s.Opts.EnableTraining {
+		trainLoad = 1
+	}
+	return s.Machine.Power(infLoad, trainLoad)
+}
+
+// CPUUtilization models node CPU utilization: the inference share plus the
+// training share of CCDs that are actually busy.
+func (s *System) CPUUtilization(infLoad float64) float64 {
+	n := float64(s.Opts.Machine.NumCCDs)
+	infCCDs := n
+	trainCCDs := 0.0
+	if s.Controller != nil {
+		infCCDs = float64(s.Controller.InferenceCCDs())
+		trainCCDs = float64(s.Controller.TrainingCCDs())
+	} else if s.Opts.EnableTraining {
+		trainCCDs = n // shared: training competes everywhere
+		infCCDs = n
+	}
+	util := infLoad * infCCDs / n
+	if s.Opts.EnableTraining {
+		util += trainCCDs / n * 0.9 // trainer keeps its CCDs mostly busy
+	}
+	if util > 1 {
+		util = 1
+	}
+	return util
+}

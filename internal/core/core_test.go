@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"liveupdate/internal/dlrm"
+	"liveupdate/internal/emt"
+	"liveupdate/internal/numasim"
+	"liveupdate/internal/tensor"
+	"liveupdate/internal/trace"
+)
+
+func testProfile() trace.Profile {
+	p := trace.Profiles()["criteo"]
+	p.NumTables = 3
+	p.TableSize = 300
+	p.NumDense = 4
+	p.MultiHot = []int{1, 1, 1}
+	return p
+}
+
+func testOptions() Options {
+	o := DefaultOptions(testProfile(), 9)
+	o.TrainInterval = 4
+	o.TrainBatch = 8
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := testOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testOptions()
+	bad.TrainBatch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero batch must fail when training enabled")
+	}
+	bad.EnableTraining = false
+	if err := bad.Validate(); err != nil {
+		t.Fatal("training params irrelevant when training disabled")
+	}
+	bad = testOptions()
+	bad.EmbLR = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero LR must fail")
+	}
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New must reject empty options")
+	}
+}
+
+func TestServeInterleavesTraining(t *testing.T) {
+	s := MustNew(testOptions())
+	gen := trace.MustNewGenerator(testProfile(), 3)
+	for i := 0; i < 40; i++ {
+		s.Serve(gen.Next())
+	}
+	if s.TrainSteps() == 0 {
+		t.Fatal("training ticks must run during serving")
+	}
+	// Training populated the LoRA tables.
+	active := 0
+	for _, a := range s.LoRA.Adapters {
+		active += a.ActiveCount()
+	}
+	if active == 0 {
+		t.Fatal("co-located training must populate adapters")
+	}
+	if s.Node.Served() != 40 {
+		t.Fatalf("served %d", s.Node.Served())
+	}
+}
+
+func TestTrainingDisabled(t *testing.T) {
+	o := testOptions()
+	o.EnableTraining = false
+	s := MustNew(o)
+	gen := trace.MustNewGenerator(testProfile(), 3)
+	for i := 0; i < 40; i++ {
+		s.Serve(gen.Next())
+	}
+	if s.TrainSteps() != 0 {
+		t.Fatal("Only-Infer configuration must not train")
+	}
+}
+
+func TestTrainTickEmptyRing(t *testing.T) {
+	s := MustNew(testOptions())
+	s.TrainTick() // no samples served yet: must be a no-op
+	if s.TrainSteps() != 0 {
+		t.Fatal("empty ring must not count a training step")
+	}
+}
+
+func TestBaseStaysFrozenDuringServing(t *testing.T) {
+	s := MustNew(testOptions())
+	gen := trace.MustNewGenerator(testProfile(), 5)
+	for i := 0; i < 60; i++ {
+		s.Serve(gen.Next())
+	}
+	for _, tab := range s.Base.Tables {
+		if tab.DirtyCount() != 0 {
+			t.Fatal("co-located LoRA training must never write the base EMT")
+		}
+	}
+}
+
+func TestSchedulingTogglesController(t *testing.T) {
+	o := testOptions()
+	o.EnableScheduling = false
+	s := MustNew(o)
+	if s.Controller != nil {
+		t.Fatal("controller must be nil when scheduling disabled")
+	}
+	// With scheduling disabled, both workloads share all CCDs.
+	if len(s.Machine.CCDsOf(numasim.Training)) != o.Machine.NumCCDs {
+		t.Fatal("unscheduled machine must share all CCDs")
+	}
+	o.EnableScheduling = true
+	s2 := MustNew(o)
+	if s2.Controller == nil {
+		t.Fatal("controller must exist when scheduling enabled")
+	}
+	if len(s2.Machine.CCDsOf(numasim.Inference)) >= o.Machine.NumCCDs {
+		t.Fatal("scheduling must partition CCDs")
+	}
+}
+
+func TestReuseLowersTrainingDRAMTraffic(t *testing.T) {
+	run := func(reuse bool) int64 {
+		o := testOptions()
+		o.EnableReuse = reuse
+		s := MustNew(o)
+		gen := trace.MustNewGenerator(testProfile(), 7)
+		for i := 0; i < 200; i++ {
+			s.Serve(gen.Next())
+		}
+		return s.Machine.DRAMBytes(numasim.Training)
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Fatalf("reuse must cut training DRAM traffic: with %d without %d", with, without)
+	}
+}
+
+func TestFullSyncInstallsFreshState(t *testing.T) {
+	s := MustNew(testOptions())
+	gen := trace.MustNewGenerator(testProfile(), 11)
+	for i := 0; i < 50; i++ {
+		s.Serve(gen.Next())
+	}
+	// Build a "training cluster" state to install.
+	rng := tensor.NewRNG(99)
+	freshModel := dlrm.MustNewModel(dlrm.ConfigForProfile(testProfile()), rng)
+	freshBase := emt.NewGroup(3, 300, 16, rng)
+	s.FullSync(freshBase, freshModel)
+	if s.FullSyncs() != 1 {
+		t.Fatalf("full syncs %d", s.FullSyncs())
+	}
+	for _, a := range s.LoRA.Adapters {
+		if a.ActiveCount() != 0 {
+			t.Fatal("full sync must reset adapters")
+		}
+	}
+	// Base must equal the fresh weights.
+	got := s.Base.Tables[0].PeekRow(0)
+	want := freshBase.Tables[0].PeekRow(0)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("full sync must install fresh base weights")
+		}
+	}
+}
+
+func TestMemoryOverheadBounded(t *testing.T) {
+	s := MustNew(testOptions())
+	gen := trace.MustNewGenerator(testProfile(), 13)
+	for i := 0; i < 400; i++ {
+		s.Serve(gen.Next())
+	}
+	// Paper claim: adapter memory < ~2-5% of EMTs under pruning. Our scaled
+	// tables are small, so allow a loose but meaningful bound.
+	if ov := s.MemoryOverhead(); ov <= 0 || ov > 0.30 {
+		t.Fatalf("memory overhead %v out of expected band", ov)
+	}
+}
+
+func TestPowerAndUtilization(t *testing.T) {
+	s := MustNew(testOptions())
+	pOn := s.Power(0.5)
+	o := testOptions()
+	o.EnableTraining = false
+	sOff := MustNew(o)
+	pOff := sOff.Power(0.5)
+	if pOn <= pOff {
+		t.Fatalf("co-located training must raise power: %v vs %v", pOn, pOff)
+	}
+	uOn := s.CPUUtilization(0.2)
+	uOff := sOff.CPUUtilization(0.2)
+	if uOn <= uOff {
+		t.Fatalf("training must raise utilization: %v vs %v", uOn, uOff)
+	}
+	if u := s.CPUUtilization(5); u > 1 {
+		t.Fatalf("utilization must clamp at 1, got %v", u)
+	}
+}
+
+func TestIsolationAblationP99Ordering(t *testing.T) {
+	// The Fig 16 property: P99(full system) < P99(naive co-location), and
+	// only-inference is the floor.
+	run := func(training, scheduling, reuse bool) float64 {
+		o := testOptions()
+		o.EnableTraining = training
+		o.EnableScheduling = scheduling
+		o.EnableReuse = reuse
+		o.Machine.L3BlocksPerCCD = 48 // tight caches make contention visible
+		s := MustNew(o)
+		gen := trace.MustNewGenerator(testProfile(), 21)
+		for i := 0; i < 600; i++ {
+			s.Serve(gen.Next())
+		}
+		return s.Node.P99()
+	}
+	onlyInfer := run(false, false, false)
+	naive := run(true, false, false)
+	full := run(true, true, true)
+	if naive <= onlyInfer {
+		t.Fatalf("naive co-location should hurt P99: %v vs %v", naive, onlyInfer)
+	}
+	if full >= naive {
+		t.Fatalf("isolation should recover P99: full %v vs naive %v", full, naive)
+	}
+}

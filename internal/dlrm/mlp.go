@@ -1,0 +1,283 @@
+// Package dlrm implements the Deep Learning Recommendation Model of paper
+// §II-A from scratch: bottom/top MLPs, dot-product feature interaction,
+// embedding pooling via internal/emt, binary cross-entropy loss, and SGD /
+// Adagrad optimizers. It substitutes for TorchRec+FBGEMM on H100s; the
+// architecture (Fig 1) is the same, the scale is laptop-sized.
+package dlrm
+
+import (
+	"fmt"
+	"math"
+
+	"liveupdate/internal/tensor"
+)
+
+// Layer is one fully connected layer y = act(Wx + b).
+type Layer struct {
+	W    *tensor.Matrix // out×in
+	B    []float64      // out
+	ReLU bool           // apply ReLU; false = linear output layer
+
+	// Gradient accumulators, applied by the optimizer per batch.
+	gradW *tensor.Matrix
+	gradB []float64
+
+	// Adagrad accumulators (lazily allocated).
+	accW *tensor.Matrix
+	accB []float64
+}
+
+// NewLayer builds an in→out layer with Xavier-initialized weights.
+func NewLayer(rng *tensor.RNG, in, out int, relu bool) *Layer {
+	return &Layer{
+		W:     tensor.XavierMatrix(rng, out, in),
+		B:     make([]float64, out),
+		ReLU:  relu,
+		gradW: tensor.NewMatrix(out, in),
+		gradB: make([]float64, out),
+	}
+}
+
+// Forward computes the layer output and, when cache is non-nil, stores the
+// input and pre-activation needed for Backward.
+func (l *Layer) Forward(x []float64, cache *LayerCache) []float64 {
+	pre := tensor.MatVec(l.W, x)
+	for i := range pre {
+		pre[i] += l.B[i]
+	}
+	out := pre
+	if l.ReLU {
+		out = make([]float64, len(pre))
+		for i, v := range pre {
+			if v > 0 {
+				out[i] = v
+			}
+		}
+	}
+	if cache != nil {
+		cache.Input = x
+		cache.Pre = pre
+	}
+	return out
+}
+
+// LayerCache holds per-sample forward state for backpropagation.
+type LayerCache struct {
+	Input []float64
+	Pre   []float64
+}
+
+// Backward accumulates gradients for dOut (gradient w.r.t. the layer output)
+// and returns the gradient w.r.t. the layer input.
+func (l *Layer) Backward(dOut []float64, cache *LayerCache) []float64 {
+	dPre := dOut
+	if l.ReLU {
+		dPre = make([]float64, len(dOut))
+		for i, v := range dOut {
+			if cache.Pre[i] > 0 {
+				dPre[i] = v
+			}
+		}
+	}
+	in := cache.Input
+	for o, dp := range dPre {
+		if dp == 0 {
+			continue
+		}
+		row := l.gradW.Row(o)
+		for i, xi := range in {
+			row[i] += dp * xi
+		}
+		l.gradB[o] += dp
+	}
+	dIn := make([]float64, len(in))
+	for o, dp := range dPre {
+		if dp == 0 {
+			continue
+		}
+		row := l.W.Row(o)
+		for i, w := range row {
+			dIn[i] += dp * w
+		}
+	}
+	return dIn
+}
+
+// In returns the input width, Out the output width.
+func (l *Layer) In() int  { return l.W.Cols }
+func (l *Layer) Out() int { return l.W.Rows }
+
+// zeroGrad clears accumulated gradients.
+func (l *Layer) zeroGrad() {
+	l.gradW.Zero()
+	for i := range l.gradB {
+		l.gradB[i] = 0
+	}
+}
+
+// MLP is a stack of fully connected layers.
+type MLP struct {
+	Layers []*Layer
+}
+
+// NewMLP builds an MLP with the given widths; widths[0] is the input size.
+// All hidden layers use ReLU; the final layer is linear.
+func NewMLP(rng *tensor.RNG, widths []int) *MLP {
+	if len(widths) < 2 {
+		panic(fmt.Sprintf("dlrm: MLP needs at least 2 widths, got %v", widths))
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		relu := i+2 < len(widths)
+		m.Layers = append(m.Layers, NewLayer(rng, widths[i], widths[i+1], relu))
+	}
+	return m
+}
+
+// MLPCache holds per-layer forward state for one sample.
+type MLPCache struct {
+	layers []LayerCache
+}
+
+// Forward runs the stack, filling cache when non-nil.
+func (m *MLP) Forward(x []float64, cache *MLPCache) []float64 {
+	if cache != nil && len(cache.layers) != len(m.Layers) {
+		cache.layers = make([]LayerCache, len(m.Layers))
+	}
+	out := x
+	for i, l := range m.Layers {
+		var lc *LayerCache
+		if cache != nil {
+			lc = &cache.layers[i]
+		}
+		out = l.Forward(out, lc)
+	}
+	return out
+}
+
+// Backward backpropagates dOut through the stack, accumulating gradients,
+// and returns the gradient w.r.t. the MLP input.
+func (m *MLP) Backward(dOut []float64, cache *MLPCache) []float64 {
+	d := dOut
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		d = m.Layers[i].Backward(d, &cache.layers[i])
+	}
+	return d
+}
+
+// ZeroGrad clears accumulated gradients on all layers.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.zeroGrad()
+	}
+}
+
+// ParamCount returns the number of trainable scalars.
+func (m *MLP) ParamCount() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W.Data) + len(l.B)
+	}
+	return n
+}
+
+// Clone deep-copies weights (gradient state is reset in the copy).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Layer{
+			W:     l.W.Clone(),
+			B:     append([]float64(nil), l.B...),
+			ReLU:  l.ReLU,
+			gradW: tensor.NewMatrix(l.W.Rows, l.W.Cols),
+			gradB: make([]float64, len(l.B)),
+		}
+		c.Layers = append(c.Layers, nl)
+	}
+	return c
+}
+
+// CopyWeightsFrom overwrites weights from src (same architecture).
+func (m *MLP) CopyWeightsFrom(src *MLP) {
+	if len(m.Layers) != len(src.Layers) {
+		panic("dlrm: MLP CopyWeightsFrom layer count mismatch")
+	}
+	for i, l := range m.Layers {
+		copy(l.W.Data, src.Layers[i].W.Data)
+		copy(l.B, src.Layers[i].B)
+	}
+}
+
+// Optimizer applies accumulated MLP gradients.
+type Optimizer interface {
+	// Step applies and clears the accumulated gradients of m, scaled by
+	// 1/batchSize.
+	Step(m *MLP, batchSize int)
+}
+
+// SGD is plain stochastic gradient descent with learning rate LR.
+type SGD struct{ LR float64 }
+
+// Step implements Optimizer.
+func (s SGD) Step(m *MLP, batchSize int) {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	scale := s.LR / float64(batchSize)
+	for _, l := range m.Layers {
+		for i, g := range l.gradW.Data {
+			l.W.Data[i] -= scale * g
+		}
+		for i, g := range l.gradB {
+			l.B[i] -= scale * g
+		}
+	}
+	m.ZeroGrad()
+}
+
+// Adagrad adapts per-parameter learning rates by accumulated squared
+// gradients, the optimizer production DLRMs commonly use for dense layers.
+type Adagrad struct {
+	LR  float64
+	Eps float64 // defaults to 1e-8 when zero
+}
+
+// Step implements Optimizer.
+func (a Adagrad) Step(m *MLP, batchSize int) {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	eps := a.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	inv := 1 / float64(batchSize)
+	for _, l := range m.Layers {
+		if l.accW == nil {
+			l.accW = tensor.NewMatrix(l.W.Rows, l.W.Cols)
+			l.accB = make([]float64, len(l.B))
+		}
+		for i, g := range l.gradW.Data {
+			g *= inv
+			l.accW.Data[i] += g * g
+			l.W.Data[i] -= a.LR * g / (math.Sqrt(l.accW.Data[i]) + eps)
+		}
+		for i, g := range l.gradB {
+			g *= inv
+			l.accB[i] += g * g
+			l.B[i] -= a.LR * g / (math.Sqrt(l.accB[i]) + eps)
+		}
+	}
+	m.ZeroGrad()
+}
+
+// Sigmoid returns the logistic function of x.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// BCELossWithLogit returns the binary cross-entropy of the logit against a
+// 0/1 label, computed in a numerically stable form.
+func BCELossWithLogit(logit float64, label int) float64 {
+	// log(1+exp(-|x|)) + max(x,0) - x*y
+	z := math.Max(logit, 0)
+	return z - logit*float64(label) + math.Log1p(math.Exp(-math.Abs(logit)))
+}

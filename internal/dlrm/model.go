@@ -1,0 +1,247 @@
+package dlrm
+
+import (
+	"fmt"
+
+	"liveupdate/internal/emt"
+	"liveupdate/internal/tensor"
+)
+
+// EmbeddingSource abstracts where pooled embeddings come from and where their
+// gradients go. The base implementation reads/writes emt tables directly; the
+// LoRA implementation (internal/lora) serves W+AB and routes gradients to the
+// adapter factors while W stays frozen (paper §IV-A).
+type EmbeddingSource interface {
+	// NumTables returns the number of embedding tables.
+	NumTables() int
+	// Dim returns the embedding dimension d.
+	Dim() int
+	// Lookup mean-pools the embeddings of ids from the given table into dst.
+	Lookup(table int, ids []int32, dst []float64)
+	// ApplyGrad consumes the gradient w.r.t. the pooled embedding of the
+	// given table, performing one SGD step at rate lr on whatever parameters
+	// the source trains.
+	ApplyGrad(table int, ids []int32, grad []float64, lr float64)
+}
+
+// BaseEmbeddings adapts an emt.Group to the EmbeddingSource interface with
+// direct row-wise SGD updates (the conventional training path).
+type BaseEmbeddings struct {
+	Group *emt.Group
+}
+
+// NumTables implements EmbeddingSource.
+func (b *BaseEmbeddings) NumTables() int { return len(b.Group.Tables) }
+
+// Dim implements EmbeddingSource.
+func (b *BaseEmbeddings) Dim() int { return b.Group.Tables[0].Dim }
+
+// Lookup implements EmbeddingSource.
+func (b *BaseEmbeddings) Lookup(table int, ids []int32, dst []float64) {
+	b.Group.Tables[table].Lookup(ids, dst)
+}
+
+// ApplyGrad implements EmbeddingSource: the pooled gradient is scattered
+// back to each contributing row scaled by 1/len(ids) (mean-pool Jacobian).
+func (b *BaseEmbeddings) ApplyGrad(table int, ids []int32, grad []float64, lr float64) {
+	if len(ids) == 0 {
+		return
+	}
+	t := b.Group.Tables[table]
+	scale := -lr / float64(len(ids))
+	delta := make([]float64, len(grad))
+	for i, g := range grad {
+		delta[i] = scale * g
+	}
+	for _, id := range ids {
+		t.ApplyRowDelta(id, delta)
+	}
+}
+
+// Config describes a DLRM architecture.
+type Config struct {
+	NumTables    int
+	EmbeddingDim int
+	NumDense     int
+	BottomHidden []int // hidden widths of the bottom MLP
+	TopHidden    []int // hidden widths of the top MLP
+}
+
+// Validate checks architectural consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.NumTables <= 0:
+		return fmt.Errorf("dlrm: NumTables must be positive")
+	case c.EmbeddingDim <= 0:
+		return fmt.Errorf("dlrm: EmbeddingDim must be positive")
+	case c.NumDense <= 0:
+		return fmt.Errorf("dlrm: NumDense must be positive")
+	}
+	return nil
+}
+
+// InteractionCount returns the number of pairwise dot-product features:
+// (T+1 choose 2) over the T pooled embeddings plus the bottom-MLP output.
+func (c Config) InteractionCount() int {
+	n := c.NumTables + 1
+	return n * (n - 1) / 2
+}
+
+// Model is the dense half of a DLRM: bottom MLP, dot-product interaction,
+// top MLP. Embedding parameters live behind an EmbeddingSource so that base
+// training and LoRA adaptation share one forward/backward implementation.
+type Model struct {
+	Cfg    Config
+	Bottom *MLP
+	Top    *MLP
+}
+
+// NewModel builds a model for cfg with Xavier initialization from rng.
+func NewModel(cfg Config, rng *tensor.RNG) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bw := append([]int{cfg.NumDense}, cfg.BottomHidden...)
+	bw = append(bw, cfg.EmbeddingDim)
+	topIn := cfg.EmbeddingDim + cfg.InteractionCount()
+	tw := append([]int{topIn}, cfg.TopHidden...)
+	tw = append(tw, 1)
+	return &Model{
+		Cfg:    cfg,
+		Bottom: NewMLP(rng, bw),
+		Top:    NewMLP(rng, tw),
+	}, nil
+}
+
+// MustNewModel panics on configuration errors; for tests and examples.
+func MustNewModel(cfg Config, rng *tensor.RNG) *Model {
+	m, err := NewModel(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ForwardCache retains the state of one forward pass for Backward.
+type ForwardCache struct {
+	bottom   MLPCache
+	top      MLPCache
+	features [][]float64 // f_0 = bottom output, f_1.. = pooled embeddings
+	sparse   [][]int32
+}
+
+// Forward computes the click logit for one example. When cache is non-nil it
+// is filled for a subsequent Backward call.
+func (m *Model) Forward(src EmbeddingSource, dense []float64, sparse [][]int32, cache *ForwardCache) float64 {
+	cfg := m.Cfg
+	if len(dense) != cfg.NumDense {
+		panic(fmt.Sprintf("dlrm: dense len %d != %d", len(dense), cfg.NumDense))
+	}
+	if len(sparse) != cfg.NumTables {
+		panic(fmt.Sprintf("dlrm: sparse tables %d != %d", len(sparse), cfg.NumTables))
+	}
+	var bc *MLPCache
+	if cache != nil {
+		bc = &cache.bottom
+	}
+	z := m.Bottom.Forward(dense, bc)
+
+	features := make([][]float64, cfg.NumTables+1)
+	features[0] = z
+	for t := 0; t < cfg.NumTables; t++ {
+		e := make([]float64, cfg.EmbeddingDim)
+		src.Lookup(t, sparse[t], e)
+		features[t+1] = e
+	}
+
+	inter := make([]float64, 0, cfg.InteractionCount())
+	for i := 0; i < len(features); i++ {
+		for j := i + 1; j < len(features); j++ {
+			inter = append(inter, tensor.Dot(features[i], features[j]))
+		}
+	}
+	topIn := make([]float64, 0, cfg.EmbeddingDim+len(inter))
+	topIn = append(topIn, z...)
+	topIn = append(topIn, inter...)
+
+	var tc *MLPCache
+	if cache != nil {
+		tc = &cache.top
+		cache.features = features
+		cache.sparse = sparse
+	}
+	out := m.Top.Forward(topIn, tc)
+	return out[0]
+}
+
+// Predict returns the click probability for one example.
+func (m *Model) Predict(src EmbeddingSource, dense []float64, sparse [][]int32) float64 {
+	return Sigmoid(m.Forward(src, dense, sparse, nil))
+}
+
+// Backward backpropagates dLogit through the model, accumulating dense-layer
+// gradients and returning the gradient w.r.t. each table's pooled embedding.
+func (m *Model) Backward(dLogit float64, cache *ForwardCache) [][]float64 {
+	cfg := m.Cfg
+	dTopIn := m.Top.Backward([]float64{dLogit}, &cache.top)
+
+	dZ := make([]float64, cfg.EmbeddingDim)
+	copy(dZ, dTopIn[:cfg.EmbeddingDim])
+	dInter := dTopIn[cfg.EmbeddingDim:]
+
+	features := cache.features
+	dFeatures := make([][]float64, len(features))
+	for i := range dFeatures {
+		dFeatures[i] = make([]float64, cfg.EmbeddingDim)
+	}
+	k := 0
+	for i := 0; i < len(features); i++ {
+		for j := i + 1; j < len(features); j++ {
+			g := dInter[k]
+			k++
+			if g == 0 {
+				continue
+			}
+			tensor.Axpy(g, features[j], dFeatures[i])
+			tensor.Axpy(g, features[i], dFeatures[j])
+		}
+	}
+	// f_0 is the bottom output: its gradient combines the direct top-input
+	// path and the interaction path.
+	for i := range dZ {
+		dZ[i] += dFeatures[0][i]
+	}
+	m.Bottom.Backward(dZ, &cache.bottom)
+	return dFeatures[1:]
+}
+
+// TrainStep performs one SGD step on a single example: dense gradients are
+// accumulated (call opt.Step to apply) and embedding gradients are applied
+// immediately through src at rate embLR. It returns the example's BCE loss.
+func (m *Model) TrainStep(src EmbeddingSource, dense []float64, sparse [][]int32, label int, embLR float64) float64 {
+	var cache ForwardCache
+	logit := m.Forward(src, dense, sparse, &cache)
+	loss := BCELossWithLogit(logit, label)
+	dLogit := Sigmoid(logit) - float64(label)
+	dEmb := m.Backward(dLogit, &cache)
+	for t, g := range dEmb {
+		src.ApplyGrad(t, sparse[t], g, embLR)
+	}
+	return loss
+}
+
+// Clone deep-copies the dense parameters.
+func (m *Model) Clone() *Model {
+	return &Model{Cfg: m.Cfg, Bottom: m.Bottom.Clone(), Top: m.Top.Clone()}
+}
+
+// CopyWeightsFrom overwrites dense parameters from src.
+func (m *Model) CopyWeightsFrom(src *Model) {
+	m.Bottom.CopyWeightsFrom(src.Bottom)
+	m.Top.CopyWeightsFrom(src.Top)
+}
+
+// DenseParamCount returns the number of dense trainable scalars.
+func (m *Model) DenseParamCount() int {
+	return m.Bottom.ParamCount() + m.Top.ParamCount()
+}

@@ -1,0 +1,83 @@
+package emt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"liveupdate/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := NewGroup(3, 40, 8, tensor.NewRNG(5))
+	g.Tables[1].ApplyRowDelta(7, make([]float64, 8)) // bump version
+	var buf bytes.Buffer
+	if err := g.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 3 {
+		t.Fatalf("tables %d", len(got.Tables))
+	}
+	for ti, want := range g.Tables {
+		gt := got.Tables[ti]
+		if gt.Name != want.Name || gt.Dim != want.Dim || gt.Rows() != want.Rows() {
+			t.Fatalf("table %d metadata mismatch", ti)
+		}
+		if gt.Version() != want.Version() {
+			t.Fatalf("table %d version %d != %d", ti, gt.Version(), want.Version())
+		}
+		for id := int32(0); int(id) < want.Rows(); id++ {
+			a, b := want.PeekRow(id), gt.PeekRow(id)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatal("weights must round-trip bit-exactly")
+				}
+			}
+		}
+		if gt.DirtyCount() != 0 {
+			t.Fatal("restored tables must start clean")
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"NOPE",                // short magic
+		"XXXXzzzzzzzzzzzzzzz", // wrong magic
+	}
+	for i, c := range cases {
+		if _, err := ReadCheckpoint(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	g := NewGroup(1, 4, 2, tensor.NewRNG(1))
+	if err := g.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // corrupt the version field
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	g := NewGroup(2, 20, 4, tensor.NewRNG(2))
+	var buf bytes.Buffer
+	if err := g.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, 12, 30, len(data) / 2, len(data) - 3} {
+		if _, err := ReadCheckpoint(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+}

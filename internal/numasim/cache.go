@@ -1,0 +1,97 @@
+// Package numasim models the inference-node hardware that LiveUpdate's
+// performance-isolation layer (paper §IV-D) manipulates: Core Complex Dies
+// (CCDs) with private L3 caches, shared DRAM bandwidth with
+// contention-induced latency inflation, the adaptive CCD-partitioning
+// controller of Algorithm 2, the shadow-embedding-table reuse path, and a
+// CPU power/utilization model (Figs 5, 10, 11, 16, 18).
+//
+// It substitutes for the paper's dual AMD EPYC 9684X testbed. Capacities and
+// latencies are scaled to laptop-size workloads; the causal structure — hot
+// embedding sets fit in a per-CCD L3, cross-workload co-location thrashes
+// it, misses contend for DRAM bandwidth — is the paper's.
+package numasim
+
+import "container/list"
+
+// BlockKey identifies one cacheable block (an embedding row).
+type BlockKey struct {
+	Space int32 // block namespace (e.g. table id)
+	Row   int32
+}
+
+// L3Cache is an LRU cache over fixed-size blocks, modelling one CCD's
+// private L3 at embedding-row granularity.
+type L3Cache struct {
+	capacity int // max resident blocks
+	ll       *list.List
+	index    map[BlockKey]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+// NewL3Cache builds a cache holding at most capacity blocks.
+func NewL3Cache(capacity int) *L3Cache {
+	if capacity <= 0 {
+		panic("numasim: cache capacity must be positive")
+	}
+	return &L3Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[BlockKey]*list.Element),
+	}
+}
+
+// Access touches key, returning true on a hit. Misses install the block,
+// evicting the least recently used one if full.
+func (c *L3Cache) Access(key BlockKey) bool {
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		if back != nil {
+			delete(c.index, back.Value.(BlockKey))
+			c.ll.Remove(back)
+		}
+	}
+	c.index[key] = c.ll.PushFront(key)
+	return false
+}
+
+// Contains reports residency without touching LRU order or counters.
+func (c *L3Cache) Contains(key BlockKey) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Len returns the number of resident blocks.
+func (c *L3Cache) Len() int { return c.ll.Len() }
+
+// Capacity returns the maximum resident blocks.
+func (c *L3Cache) Capacity() int { return c.capacity }
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (c *L3Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// ResetStats zeroes hit/miss counters without flushing contents.
+func (c *L3Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Flush empties the cache (e.g. when a CCD is reassigned to a different
+// workload, its working set is effectively cold).
+func (c *L3Cache) Flush() {
+	c.ll.Init()
+	c.index = make(map[BlockKey]*list.Element)
+}
+
+// Stats returns raw hit/miss counts.
+func (c *L3Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

@@ -1,0 +1,218 @@
+// Package serving implements the inference-side of a LiveUpdate node (paper
+// Fig 7, red path): request serving with per-row memory-system accounting,
+// the shared inference-data ring buffer that feeds the co-located trainer
+// (10-minute retention, §IV-E), and P99 latency / SLA tracking.
+package serving
+
+import (
+	"fmt"
+
+	"liveupdate/internal/dlrm"
+	"liveupdate/internal/metrics"
+	"liveupdate/internal/numasim"
+	"liveupdate/internal/simnet"
+	"liveupdate/internal/tensor"
+	"liveupdate/internal/trace"
+)
+
+// RingBuffer caches recent inference samples (features + labels) as the
+// training dataset for the online update path. Old samples are overwritten
+// once capacity is reached, matching the paper's 10-minute retention window.
+type RingBuffer struct {
+	buf   []trace.Sample
+	next  int
+	count int
+	total uint64
+}
+
+// NewRingBuffer creates a buffer holding up to capacity samples.
+func NewRingBuffer(capacity int) *RingBuffer {
+	if capacity <= 0 {
+		panic("serving: ring buffer capacity must be positive")
+	}
+	return &RingBuffer{buf: make([]trace.Sample, capacity)}
+}
+
+// Push appends a sample, overwriting the oldest when full.
+func (r *RingBuffer) Push(s trace.Sample) {
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+}
+
+// Len returns the number of retained samples.
+func (r *RingBuffer) Len() int { return r.count }
+
+// Total returns the number of samples ever pushed.
+func (r *RingBuffer) Total() uint64 { return r.total }
+
+// Sample draws n samples uniformly (with replacement) from the retained
+// window — the trainer's mini-batch source. It returns nil when empty.
+func (r *RingBuffer) Sample(rng *tensor.RNG, n int) []trace.Sample {
+	if r.count == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]trace.Sample, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(r.count)]
+	}
+	return out
+}
+
+// Recent returns up to n of the most recently pushed samples, newest last.
+func (r *RingBuffer) Recent(n int) []trace.Sample {
+	if n > r.count {
+		n = r.count
+	}
+	out := make([]trace.Sample, 0, n)
+	for i := n; i > 0; i-- {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// NodeConfig sets serving-path constants.
+type NodeConfig struct {
+	// GPUDenseTime is the dense-layer forward time per request on the
+	// simulated GPU (paper: single-digit ms class).
+	GPUDenseTime float64
+	// SLA is the P99 target (paper: 10-20 ms). Latencies above it count as
+	// violations.
+	SLA float64
+	// RingCapacity is the inference-data cache size in samples.
+	RingCapacity int
+	// LatencyWindow is the number of samples the P99 tracker retains.
+	LatencyWindow int
+}
+
+// DefaultNodeConfig mirrors the paper's serving constants: ~4 ms dense time,
+// 10 ms SLA target.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		GPUDenseTime:  0.004,
+		SLA:           0.010,
+		RingCapacity:  8192,
+		LatencyWindow: 4096,
+	}
+}
+
+// Validate reports configuration errors.
+func (c NodeConfig) Validate() error {
+	switch {
+	case c.GPUDenseTime <= 0:
+		return fmt.Errorf("serving: GPUDenseTime must be positive")
+	case c.SLA <= 0:
+		return fmt.Errorf("serving: SLA must be positive")
+	case c.RingCapacity <= 0:
+		return fmt.Errorf("serving: RingCapacity must be positive")
+	case c.LatencyWindow <= 0:
+		return fmt.Errorf("serving: LatencyWindow must be positive")
+	}
+	return nil
+}
+
+// Node is one inference server: it scores requests through the DLRM using
+// an EmbeddingSource, charges every embedding-row access to the machine
+// model, caches request data for the trainer, and tracks tail latency.
+type Node struct {
+	Cfg     NodeConfig
+	Model   *dlrm.Model
+	Emb     dlrm.EmbeddingSource
+	Machine *numasim.Machine
+	Clock   *simnet.Clock
+	Ring    *RingBuffer
+	Lat     *metrics.LatencyTracker
+
+	served     uint64
+	violations uint64
+}
+
+// NewNode assembles a serving node.
+func NewNode(cfg NodeConfig, model *dlrm.Model, emb dlrm.EmbeddingSource,
+	machine *numasim.Machine, clock *simnet.Clock) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Node{
+		Cfg:     cfg,
+		Model:   model,
+		Emb:     emb,
+		Machine: machine,
+		Clock:   clock,
+		Ring:    NewRingBuffer(cfg.RingCapacity),
+		Lat:     metrics.NewLatencyTracker(cfg.LatencyWindow),
+	}, nil
+}
+
+// MustNewNode panics on configuration errors.
+func MustNewNode(cfg NodeConfig, model *dlrm.Model, emb dlrm.EmbeddingSource,
+	machine *numasim.Machine, clock *simnet.Clock) *Node {
+	n, err := NewNode(cfg, model, emb, machine, clock)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Serve scores one request: embedding rows are fetched through the memory
+// model (inference workload, cached path), the dense layers run on the
+// simulated GPU, the request is cached for the online trainer, and the
+// clock advances by the request latency (sequential-server model).
+// It returns the predicted probability and the request latency in seconds.
+func (n *Node) Serve(s trace.Sample) (prob, latency float64) {
+	memTime := 0.0
+	for t, ids := range s.Sparse {
+		for _, id := range ids {
+			memTime += n.Machine.Access(numasim.Inference, numasim.KindCached, int32(t), id)
+		}
+	}
+	prob = n.Model.Predict(n.Emb, s.Dense, s.Sparse)
+	latency = memTime + n.Cfg.GPUDenseTime
+	n.Ring.Push(s)
+	n.Lat.Observe(latency)
+	n.served++
+	if latency > n.Cfg.SLA {
+		n.violations++
+	}
+	n.Clock.Advance(latency)
+	return prob, latency
+}
+
+// ServeBatch serves samples sequentially and returns their mean latency.
+func (n *Node) ServeBatch(samples []trace.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range samples {
+		_, l := n.Serve(s)
+		total += l
+	}
+	return total / float64(len(samples))
+}
+
+// P99 returns the current 99th-percentile latency over the tracker window.
+func (n *Node) P99() float64 { return n.Lat.P99() }
+
+// Served returns the number of requests processed.
+func (n *Node) Served() uint64 { return n.served }
+
+// ViolationRate returns the fraction of requests exceeding the SLA.
+func (n *Node) ViolationRate() float64 {
+	if n.served == 0 {
+		return 0
+	}
+	return float64(n.violations) / float64(n.served)
+}
+
+// ResetLatencyStats clears the latency tracker and violation counters
+// (e.g. between experiment phases).
+func (n *Node) ResetLatencyStats() {
+	n.Lat.Reset()
+	n.served = 0
+	n.violations = 0
+}

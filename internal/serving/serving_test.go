@@ -1,0 +1,191 @@
+package serving
+
+import (
+	"testing"
+
+	"liveupdate/internal/dlrm"
+	"liveupdate/internal/emt"
+	"liveupdate/internal/numasim"
+	"liveupdate/internal/simnet"
+	"liveupdate/internal/tensor"
+	"liveupdate/internal/trace"
+)
+
+func testProfile() trace.Profile {
+	p := trace.Profiles()["criteo"]
+	p.NumTables = 3
+	p.TableSize = 200
+	p.NumDense = 4
+	p.MultiHot = []int{1, 1, 2}
+	return p
+}
+
+func newTestNode(t *testing.T) (*Node, *trace.Generator) {
+	t.Helper()
+	p := testProfile()
+	rng := tensor.NewRNG(1)
+	cfg := dlrm.Config{
+		NumTables: p.NumTables, EmbeddingDim: p.EmbeddingDim, NumDense: p.NumDense,
+		BottomHidden: []int{16}, TopHidden: []int{16},
+	}
+	model := dlrm.MustNewModel(cfg, rng)
+	group := emt.NewGroup(p.NumTables, p.TableSize, p.EmbeddingDim, rng)
+	clock := simnet.NewClock()
+	machine := numasim.MustNewMachine(numasim.DefaultConfig(), clock)
+	node := MustNewNode(DefaultNodeConfig(), model, &dlrm.BaseEmbeddings{Group: group}, machine, clock)
+	return node, trace.MustNewGenerator(p, 2)
+}
+
+func TestRingBufferBasics(t *testing.T) {
+	r := NewRingBuffer(3)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("fresh buffer must be empty")
+	}
+	for i := 0; i < 5; i++ {
+		r.Push(trace.Sample{Time: float64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d, want 3 (capacity)", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d", r.Total())
+	}
+	recent := r.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("recent %d", len(recent))
+	}
+	// Newest last: times 2,3,4.
+	if recent[0].Time != 2 || recent[2].Time != 4 {
+		t.Fatalf("recent order: %v %v %v", recent[0].Time, recent[1].Time, recent[2].Time)
+	}
+	// Recent(n) with n > len clamps.
+	if len(r.Recent(99)) != 3 {
+		t.Fatal("Recent must clamp")
+	}
+}
+
+func TestRingBufferSample(t *testing.T) {
+	r := NewRingBuffer(10)
+	rng := tensor.NewRNG(3)
+	if r.Sample(rng, 5) != nil {
+		t.Fatal("sampling empty buffer must return nil")
+	}
+	for i := 0; i < 4; i++ {
+		r.Push(trace.Sample{Time: float64(i)})
+	}
+	batch := r.Sample(rng, 20)
+	if len(batch) != 20 {
+		t.Fatalf("batch %d", len(batch))
+	}
+	for _, s := range batch {
+		if s.Time < 0 || s.Time > 3 {
+			t.Fatalf("sampled ghost element %v", s.Time)
+		}
+	}
+	if r.Sample(rng, 0) != nil {
+		t.Fatal("n<=0 must return nil")
+	}
+}
+
+func TestNodeConfigValidate(t *testing.T) {
+	if err := DefaultNodeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultNodeConfig()
+	bad.GPUDenseTime = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero GPU time must fail")
+	}
+	bad = DefaultNodeConfig()
+	bad.SLA = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative SLA must fail")
+	}
+	if _, err := NewNode(NodeConfig{}, nil, nil, nil, nil); err == nil {
+		t.Fatal("NewNode must reject invalid config")
+	}
+}
+
+func TestServeReturnsLatencyAndAdvancesClock(t *testing.T) {
+	node, gen := newTestNode(t)
+	before := node.Clock.Now()
+	s := gen.Next()
+	prob, lat := node.Serve(s)
+	if prob <= 0 || prob >= 1 {
+		t.Fatalf("prob %v", prob)
+	}
+	if lat < node.Cfg.GPUDenseTime {
+		t.Fatalf("latency %v below GPU floor", lat)
+	}
+	if node.Clock.Now() <= before {
+		t.Fatal("serve must advance the clock")
+	}
+	if node.Served() != 1 {
+		t.Fatalf("served %d", node.Served())
+	}
+	if node.Ring.Len() != 1 {
+		t.Fatal("request must be cached in the ring buffer")
+	}
+}
+
+func TestServeWarmLatencyDropsAndP99(t *testing.T) {
+	node, gen := newTestNode(t)
+	// Serve the same sample repeatedly: after the first, rows are cached.
+	s := gen.Next()
+	_, cold := node.Serve(s)
+	var warm float64
+	for i := 0; i < 50; i++ {
+		_, warm = node.Serve(s)
+	}
+	if warm >= cold {
+		t.Fatalf("warm latency %v should be below cold %v", warm, cold)
+	}
+	if node.P99() <= 0 {
+		t.Fatal("P99 must be positive after serving")
+	}
+}
+
+func TestViolationTracking(t *testing.T) {
+	node, gen := newTestNode(t)
+	node.Cfg.SLA = 1e-9 // everything violates
+	for i := 0; i < 10; i++ {
+		node.Serve(gen.Next())
+	}
+	if node.ViolationRate() != 1 {
+		t.Fatalf("violation rate %v, want 1", node.ViolationRate())
+	}
+	node.ResetLatencyStats()
+	if node.ViolationRate() != 0 || node.Served() != 0 || node.P99() != 0 {
+		t.Fatal("ResetLatencyStats failed")
+	}
+}
+
+func TestServeBatch(t *testing.T) {
+	node, gen := newTestNode(t)
+	mean := node.ServeBatch(gen.Batch(20, 1))
+	if mean <= 0 {
+		t.Fatalf("mean latency %v", mean)
+	}
+	if node.Served() != 20 {
+		t.Fatalf("served %d", node.Served())
+	}
+	if node.ServeBatch(nil) != 0 {
+		t.Fatal("empty batch mean must be 0")
+	}
+}
+
+func TestHotRowsServedFromCache(t *testing.T) {
+	node, gen := newTestNode(t)
+	// Zipf skew means the hot set gets cached quickly: after a warmup the
+	// inference hit ratio should be substantial (paper Fig 12 → Fig 11 link).
+	for i := 0; i < 300; i++ {
+		node.Serve(gen.Next())
+	}
+	node.Machine.ResetStats()
+	for i := 0; i < 300; i++ {
+		node.Serve(gen.Next())
+	}
+	if hr := node.Machine.HitRatio(numasim.Inference); hr < 0.3 {
+		t.Fatalf("steady-state hit ratio %v too low for Zipf traffic", hr)
+	}
+}

@@ -1,0 +1,210 @@
+// Package tensor provides the dense linear-algebra substrate for LiveUpdate:
+// row-major matrices, matrix products, a one-sided Jacobi SVD, truncated
+// (Eckart–Young) low-rank approximation, PCA, and deterministic random
+// number generation. Everything is stdlib-only and deterministic.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero-valued rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom wraps data (not copied) as a rows×cols matrix.
+func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Add accumulates other into m in place. Dimensions must match.
+func (m *Matrix) Add(other *Matrix) {
+	m.mustSameShape(other)
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+}
+
+// Sub subtracts other from m in place. Dimensions must match.
+func (m *Matrix) Sub(other *Matrix) {
+	m.mustSameShape(other)
+	for i := range m.Data {
+		m.Data[i] -= other.Data[i]
+	}
+}
+
+// AXPY performs m += alpha*other in place.
+func (m *Matrix) AXPY(alpha float64, other *Matrix) {
+	m.mustSameShape(other)
+	for i := range m.Data {
+		m.Data[i] += alpha * other.Data[i]
+	}
+}
+
+func (m *Matrix) mustSameShape(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul returns a × b. It panics on a dimension mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	// ikj loop order: streams rows of b, cache friendly for row-major data.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatVec returns a × x for a column vector x (len == a.Cols).
+func MatVec(a *Matrix, x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("tensor: matvec %dx%d × %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy performs y += alpha*x element-wise.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 { return Norm2(m.Data) }
+
+// MaxAbs returns the largest absolute element value, or 0 for empty matrices.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// RandomMatrix fills a rows×cols matrix with N(0, stddev²) entries.
+func RandomMatrix(rng *RNG, rows, cols int, stddev float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * stddev
+	}
+	return m
+}
+
+// XavierMatrix fills a rows×cols matrix with Xavier/Glorot-initialized
+// entries suitable for MLP layers (uniform in ±sqrt(6/(fanIn+fanOut))).
+func XavierMatrix(rng *RNG, rows, cols int) *Matrix {
+	limit := math.Sqrt(6 / float64(rows+cols))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return m
+}

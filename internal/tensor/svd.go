@@ -1,0 +1,257 @@
+package tensor
+
+// Singular value decomposition via one-sided Jacobi rotations, plus the
+// truncated (Eckart–Young) rank-k approximation and PCA used by LiveUpdate's
+// dynamic rank adaptation (paper §III-B, §IV-C).
+//
+// One-sided Jacobi orthogonalizes the columns of a working copy of A by
+// plane rotations; the resulting column norms are the singular values. It is
+// simple, numerically robust, and fast enough for the d ≤ 64 embedding
+// dimensions the paper operates on.
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
+// singular values sorted in non-increasing order.
+type SVD struct {
+	U *Matrix   // m×n, orthonormal columns
+	S []float64 // n singular values, descending
+	V *Matrix   // n×n, orthonormal columns
+}
+
+const (
+	jacobiMaxSweeps = 60
+	jacobiTol       = 1e-12
+)
+
+// ComputeSVD returns the thin SVD of a. For m < n the decomposition is
+// computed on the transpose and swapped back. The input is not modified.
+func ComputeSVD(a *Matrix) *SVD {
+	if a.Rows < a.Cols {
+		s := ComputeSVD(a.T())
+		return &SVD{U: s.V, S: s.S, V: s.U}
+	}
+	m, n := a.Rows, a.Cols
+	// Work on column-major copies for fast column access.
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		c := make([]float64, m)
+		for i := 0; i < m; i++ {
+			c[i] = a.At(i, j)
+		}
+		cols[j] = c
+	}
+	v := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		v[j] = make([]float64, n)
+		v[j][j] = 1
+	}
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := Dot(cols[p], cols[p])
+				beta := Dot(cols[q], cols[q])
+				gamma := Dot(cols[p], cols[q])
+				if math.Abs(gamma) <= jacobiTol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				off += gamma * gamma
+				// Compute rotation (c, s) that zeroes the (p, q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta > 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotate(cols[p], cols[q], c, s)
+				rotate(v[p], v[q], c, s)
+			}
+		}
+		if off < jacobiTol {
+			break
+		}
+	}
+
+	// Column norms are singular values; normalize columns to get U.
+	type cs struct {
+		sigma float64
+		idx   int
+	}
+	order := make([]cs, n)
+	for j := 0; j < n; j++ {
+		order[j] = cs{sigma: Norm2(cols[j]), idx: j}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].sigma > order[j].sigma })
+
+	svd := &SVD{U: NewMatrix(m, n), S: make([]float64, n), V: NewMatrix(n, n)}
+	for j, o := range order {
+		svd.S[j] = o.sigma
+		col := cols[o.idx]
+		if o.sigma > 0 {
+			inv := 1 / o.sigma
+			for i := 0; i < m; i++ {
+				svd.U.Set(i, j, col[i]*inv)
+			}
+		}
+		vc := v[o.idx]
+		for i := 0; i < n; i++ {
+			svd.V.Set(i, j, vc[i])
+		}
+	}
+	return svd
+}
+
+// rotate applies the plane rotation [c s; -s c] to the column pair (x, y).
+func rotate(x, y []float64, c, s float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi - s*yi
+		y[i] = s*xi + c*yi
+	}
+}
+
+// Rank returns the number of singular values greater than tol·S[0].
+func (s *SVD) Rank(tol float64) int {
+	if len(s.S) == 0 || s.S[0] == 0 {
+		return 0
+	}
+	thresh := tol * s.S[0]
+	r := 0
+	for _, v := range s.S {
+		if v > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// TruncatedSVD returns the optimal rank-k approximation factors of a
+// (Eckart–Young–Mirsky): A ≈ (U_k·Σ_k) · V_kᵀ, returned as the pair
+// (left = U_k·Σ_k, right = V_kᵀ) so that left×right reconstructs A_k.
+// k is clamped to [0, min(m, n)].
+func TruncatedSVD(a *Matrix, k int) (left, right *Matrix) {
+	svd := ComputeSVD(a)
+	n := len(svd.S)
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	left = NewMatrix(a.Rows, k)
+	right = NewMatrix(k, a.Cols)
+	for j := 0; j < k; j++ {
+		for i := 0; i < a.Rows; i++ {
+			left.Set(i, j, svd.U.At(i, j)*svd.S[j])
+		}
+		for i := 0; i < a.Cols; i++ {
+			right.Set(j, i, svd.V.At(i, j))
+		}
+	}
+	return left, right
+}
+
+// VarianceRank returns the smallest rank k such that the top-k squared
+// singular values capture at least fraction alpha of the total squared
+// spectrum (paper Eq. 2). For an all-zero spectrum it returns 1.
+func VarianceRank(singular []float64, alpha float64) int {
+	total := 0.0
+	for _, s := range singular {
+		total += s * s
+	}
+	if total == 0 {
+		return 1
+	}
+	cum := 0.0
+	for i, s := range singular {
+		cum += s * s
+		if cum/total >= alpha {
+			return i + 1
+		}
+	}
+	return len(singular)
+}
+
+// PCA holds the principal components of a data matrix.
+type PCA struct {
+	Components  *Matrix   // d×d, columns are principal directions
+	Eigenvalues []float64 // descending; variance captured by each component
+}
+
+// ComputePCA performs principal component analysis of the rows of a
+// (observations × features). Rows are mean-centered, then the SVD of the
+// centered matrix yields components and eigenvalues λ_j = σ_j²/(rows-1).
+func ComputePCA(a *Matrix) *PCA {
+	m, n := a.Rows, a.Cols
+	centered := a.Clone()
+	mean := make([]float64, n)
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	if m > 0 {
+		for j := range mean {
+			mean[j] /= float64(m)
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := centered.Row(i)
+		for j := range row {
+			row[j] -= mean[j]
+		}
+	}
+	svd := ComputeSVD(centered)
+	denom := float64(m - 1)
+	if denom < 1 {
+		denom = 1
+	}
+	eig := make([]float64, len(svd.S))
+	for i, s := range svd.S {
+		eig[i] = s * s / denom
+	}
+	return &PCA{Components: svd.V, Eigenvalues: eig}
+}
+
+// CumulativeImportance returns, for each k, the fraction of total variance
+// captured by the top-k eigenvalues (the curve plotted in paper Fig. 6).
+func (p *PCA) CumulativeImportance() []float64 {
+	out := make([]float64, len(p.Eigenvalues))
+	total := 0.0
+	for _, e := range p.Eigenvalues {
+		total += e
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	cum := 0.0
+	for i, e := range p.Eigenvalues {
+		cum += e
+		out[i] = cum / total
+	}
+	return out
+}
+
+// MinRankForVariance returns the smallest k whose cumulative importance
+// reaches alpha (paper Eq. 2 applied to PCA eigenvalues).
+func (p *PCA) MinRankForVariance(alpha float64) int {
+	ci := p.CumulativeImportance()
+	for i, v := range ci {
+		if v >= alpha {
+			return i + 1
+		}
+	}
+	return len(ci)
+}

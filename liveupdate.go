@@ -1,0 +1,146 @@
+// Package liveupdate is a from-scratch Go reproduction of "Near-Zero-Overhead
+// Freshness for Recommendation Systems via Inference-Side Model Updates"
+// (HPCA 2026). It provides:
+//
+//   - the LiveUpdate system itself: a DLRM serving node with a co-located
+//     LoRA trainer, dynamic rank adaptation, usage-based pruning, and
+//     NUMA-aware performance isolation (System, Options);
+//   - the baselines the paper compares against: NoUpdate, DeltaUpdate, and
+//     QuickUpdate, behind a single comparison harness (Comparison);
+//   - the evaluation suite: every table and figure of the paper's §V can be
+//     regenerated with RunExperiment.
+//
+// The heavy machinery lives in internal/ packages (tensor math, DLRM,
+// embedding tables, LoRA adapters, the discrete-event cluster simulation,
+// and the NUMA hardware model); this package re-exports the surface a
+// downstream user needs.
+//
+// Quickstart:
+//
+//	profile, _ := liveupdate.ProfileByName("criteo")
+//	sys, err := liveupdate.New(liveupdate.DefaultOptions(profile, 42))
+//	if err != nil { ... }
+//	gen := liveupdate.NewWorkload(profile, 42)
+//	for i := 0; i < 10000; i++ {
+//	    prob, latency := sys.Serve(gen.Next())
+//	    _ = prob; _ = latency
+//	}
+//	fmt.Println("P99:", sys.Node.P99(), "LoRA overhead:", sys.MemoryOverhead())
+package liveupdate
+
+import (
+	"fmt"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/experiments"
+	"liveupdate/internal/numasim"
+	"liveupdate/internal/trace"
+	"liveupdate/internal/update"
+)
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"
+
+// System is a LiveUpdate inference node: serving plus co-located LoRA
+// training with performance isolation. See internal/core for details.
+type System = core.System
+
+// Options configures a System.
+type Options = core.Options
+
+// Profile describes a dataset/workload (paper Table II).
+type Profile = trace.Profile
+
+// Workload generates the synthetic drifting CTR stream.
+type Workload = trace.Generator
+
+// Sample is one labeled user-item interaction.
+type Sample = trace.Sample
+
+// StrategyKind selects an update strategy for comparisons.
+type StrategyKind = update.Kind
+
+// The strategies the paper evaluates (§V-A).
+const (
+	NoUpdate    = update.NoUpdate
+	DeltaUpdate = update.DeltaUpdate
+	QuickUpdate = update.QuickUpdate
+	LiveUpdate  = update.LiveUpdate
+)
+
+// HardwareWorkload tags the two co-located processes on the machine model
+// for per-workload statistics (cache hit ratios, DRAM traffic).
+type HardwareWorkload = numasim.Workload
+
+// The co-located workloads of the hardware model.
+const (
+	WorkloadInference = numasim.Inference
+	WorkloadTraining  = numasim.Training
+)
+
+// New builds a LiveUpdate system.
+func New(opts Options) (*System, error) { return core.New(opts) }
+
+// DefaultOptions returns the full-system configuration (training, NUMA
+// scheduling, and embedding-vector reuse all enabled) for a profile.
+func DefaultOptions(p Profile, seed uint64) Options { return core.DefaultOptions(p, seed) }
+
+// Profiles returns the dataset registry (paper Table II).
+func Profiles() map[string]Profile { return trace.Profiles() }
+
+// ProfileByName resolves a dataset name (avazu, criteo, bd-tb, avazu-tb,
+// criteo-tb).
+func ProfileByName(name string) (Profile, error) { return trace.ProfileByName(name) }
+
+// NewWorkload builds a deterministic drifting CTR stream for a profile.
+func NewWorkload(p Profile, seed uint64) *Workload { return trace.MustNewGenerator(p, seed) }
+
+// Comparison configures a strategy-comparison run (the Table III setup):
+// a continuously fresh training cluster, an inference replica updated by the
+// chosen strategy, and test-then-train AUC evaluation on a drifting stream.
+type Comparison = update.HarnessConfig
+
+// ComparisonResult summarizes one comparison run.
+type ComparisonResult = update.Result
+
+// NewComparison returns the paper's evaluation schedule (5-minute windows,
+// 10-minute updates, hourly full sync) for a profile and strategy.
+func NewComparison(p Profile, k StrategyKind, seed uint64) Comparison {
+	return update.DefaultHarnessConfig(p, k, seed)
+}
+
+// RunComparison executes a comparison: pretrainWindows of warmup, then
+// windows of test-then-train evaluation.
+func RunComparison(cfg Comparison, pretrainWindows, windows int) (ComparisonResult, error) {
+	h, err := update.NewHarness(cfg)
+	if err != nil {
+		return ComparisonResult{}, err
+	}
+	h.Pretrain(pretrainWindows)
+	return h.Run(windows), nil
+}
+
+// CostModel exposes the paper-scale update-cost arithmetic (Figs 8/14).
+type CostModel = update.CostModel
+
+// NewCostModel returns the paper's cost constants for a profile (100 GbE,
+// 5% QuickUpdate sampling).
+func NewCostModel(p Profile) CostModel { return update.DefaultCostModel(p) }
+
+// ExperimentIDs lists the reproducible tables and figures in presentation
+// order (fig3a … fig19, table2, table3).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table/figure and returns its printable
+// report. Set quick for reduced sample counts (tests, smoke runs).
+func RunExperiment(id string, seed uint64, quick bool) (string, error) {
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		return "", fmt.Errorf("liveupdate: unknown experiment %q (valid: %v)", id, experiments.IDs())
+	}
+	rep, err := runner(experiments.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}

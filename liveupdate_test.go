@@ -1,0 +1,95 @@
+package liveupdate
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallProfile(t *testing.T) Profile {
+	t.Helper()
+	p, err := ProfileByName("criteo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NumTables = 3
+	p.TableSize = 300
+	p.NumDense = 4
+	p.MultiHot = []int{1, 1, 1}
+	return p
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	p := smallProfile(t)
+	sys, err := New(DefaultOptions(p, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewWorkload(p, 42)
+	for i := 0; i < 100; i++ {
+		prob, latency := sys.Serve(gen.Next())
+		if prob <= 0 || prob >= 1 || latency <= 0 {
+			t.Fatalf("bad serve output: %v %v", prob, latency)
+		}
+	}
+	if sys.Node.P99() <= 0 {
+		t.Fatal("P99 must be measurable")
+	}
+	if sys.MemoryOverhead() < 0 {
+		t.Fatal("overhead must be non-negative")
+	}
+}
+
+func TestPublicComparison(t *testing.T) {
+	p := smallProfile(t)
+	cfg := NewComparison(p, DeltaUpdate, 7)
+	cfg.SamplesPerWindow = 150
+	res, err := RunComparison(cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != DeltaUpdate || len(res.AUCSeries) != 4 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestPublicCostModel(t *testing.T) {
+	p, err := ProfileByName("bd-tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := NewCostModel(p)
+	if cm.HourlyCost(LiveUpdate, 300) >= cm.HourlyCost(DeltaUpdate, 300) {
+		t.Fatal("LiveUpdate must be cheaper than DeltaUpdate at 5-min updates")
+	}
+}
+
+func TestRunExperimentKnownAndUnknown(t *testing.T) {
+	out, err := RunExperiment("table2", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Criteo") {
+		t.Fatalf("table2 output missing datasets:\n%s", out)
+	}
+	if _, err := RunExperiment("nope", 1, true); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestExperimentIDsStable(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(ids))
+	}
+	for _, want := range []string{"fig14", "table3", "fig16", "fig19"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+}
