@@ -1,0 +1,105 @@
+// Fleet-level acceptance tests, deliberately in an external test package so
+// they can only reach what a downstream user can: the public liveupdate API.
+package liveupdate_test
+
+import (
+	"testing"
+	"time"
+
+	"liveupdate"
+)
+
+func clusterProfile(t *testing.T) liveupdate.Profile {
+	t.Helper()
+	p, err := liveupdate.ProfileByName("criteo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NumTables = 3
+	p.TableSize = 400
+	p.NumDense = 4
+	p.MultiHot = []int{1, 1, 1}
+	return p
+}
+
+// TestClusterReplicaConsistencyPublicAPI is the paper §II-C invariant as an
+// acceptance test: four replicas behind the hash router train on disjoint
+// request shards, and one priority-merge sync makes every replica's
+// effective embedding rows identical.
+func TestClusterReplicaConsistencyPublicAPI(t *testing.T) {
+	p := clusterProfile(t)
+	srv, err := liveupdate.New(
+		liveupdate.WithProfile(p),
+		liveupdate.WithSeed(23),
+		liveupdate.WithReplicas(4),
+		liveupdate.WithRouter(liveupdate.HashRouter),
+		liveupdate.WithSyncEvery(0), // manual sync below
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, ok := srv.(*liveupdate.Cluster)
+	if !ok {
+		t.Fatalf("WithReplicas(4) must build a *Cluster, got %T", srv)
+	}
+	if fleet.RouterName() != string(liveupdate.HashRouter) {
+		t.Fatalf("router = %s, want %s", fleet.RouterName(), liveupdate.HashRouter)
+	}
+
+	gen := liveupdate.NewWorkload(p, 23)
+	for i := 0; i < 1000; i++ {
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fleet.ReplicasConsistent(50) {
+		t.Fatal("replicas must diverge while training on disjoint shards")
+	}
+	if _, err := fleet.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if !fleet.ReplicasConsistent(50) {
+		t.Fatal("replicas must serve identical effective embeddings after sync")
+	}
+
+	st := srv.Stats()
+	if st.Served != 1000 || len(st.Replicas) != 4 {
+		t.Fatalf("merged stats wrong shape: served=%d replicas=%d", st.Served, len(st.Replicas))
+	}
+	if st.Syncs != 1 || st.SyncBytes == 0 || st.SyncSeconds <= 0 {
+		t.Fatalf("sync accounting missing from merged stats: %+v", st)
+	}
+}
+
+// TestClusterPeriodicSyncPublicAPI drives a fleet with the periodic sync
+// enabled and checks that syncs fire on the virtual-time cadence and leave
+// the fleet consistent at the end of the run.
+func TestClusterPeriodicSyncPublicAPI(t *testing.T) {
+	p := clusterProfile(t)
+	srv, err := liveupdate.New(
+		liveupdate.WithProfile(p),
+		liveupdate.WithReplicas(3),
+		liveupdate.WithRouter(liveupdate.LeastLoadedRouter),
+		liveupdate.WithSyncEvery(100*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := liveupdate.NewWorkload(p, 5)
+	for i := 0; i < 600; i++ {
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Syncs == 0 {
+		t.Fatalf("periodic sync never fired in %.3fs of virtual time", st.VirtualTime)
+	}
+	var perReplica uint64
+	for _, rs := range st.Replicas {
+		perReplica += rs.Served
+	}
+	if perReplica != st.Served {
+		t.Fatalf("replica breakdown (%d) disagrees with merged Served (%d)", perReplica, st.Served)
+	}
+}

@@ -1,60 +1,100 @@
-// Command liveupdate-serve runs a single co-located LiveUpdate node on a
-// synthetic stream and reports live serving/freshness statistics.
+// Command liveupdate-serve runs a LiveUpdate serving fleet (one node by
+// default) on a synthetic stream and reports live serving/freshness
+// statistics.
 //
 // Usage:
 //
 //	liveupdate-serve -profile criteo -requests 20000 -report 5000
+//	liveupdate-serve -replicas 4 -router hash -sync 30s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"liveupdate"
 )
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "liveupdate-serve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	profileName := flag.String("profile", "criteo", "dataset profile (avazu, criteo, bd-tb, ...)")
 	requests := flag.Int("requests", 20000, "requests to serve")
-	report := flag.Int("report", 5000, "print statistics every N requests")
+	report := flag.Int("report", 5000, "print statistics every N requests (0 = final report only)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	replicas := flag.Int("replicas", 1, "fleet size (1 = single node)")
+	router := flag.String("router", string(liveupdate.RoundRobinRouter),
+		fmt.Sprintf("routing policy for -replicas > 1 %v", liveupdate.RouterPolicies()))
+	syncEvery := flag.Duration("sync", 5*time.Second,
+		"virtual-time interval between fleet LoRA syncs (0 disables)")
 	noTrain := flag.Bool("no-train", false, "disable the co-located trainer (Only-Infer mode)")
 	noIsolation := flag.Bool("no-isolation", false, "disable NUMA scheduling and reuse (naive co-location)")
 	flag.Parse()
 
+	// Validate flags up front so bad values produce an error, not a panic
+	// (e.g. -report used to divide by zero).
+	if *requests <= 0 {
+		fatalf("-requests must be positive, got %d", *requests)
+	}
+	if *report < 0 {
+		fatalf("-report must be non-negative, got %d", *report)
+	}
+	if *replicas < 1 {
+		fatalf("-replicas must be >= 1, got %d", *replicas)
+	}
+	if *syncEvery < 0 {
+		fatalf("-sync must be non-negative, got %v", *syncEvery)
+	}
+
 	profile, err := liveupdate.ProfileByName(*profileName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
-	opts := liveupdate.DefaultOptions(profile, *seed)
-	opts.EnableTraining = !*noTrain
-	if *noIsolation {
-		opts.EnableScheduling = false
-		opts.EnableReuse = false
-	}
-	sys, err := liveupdate.New(opts)
+	srv, err := liveupdate.New(
+		liveupdate.WithProfile(profile),
+		liveupdate.WithSeed(*seed),
+		liveupdate.WithReplicas(*replicas),
+		liveupdate.WithRouter(liveupdate.RouterPolicy(*router)),
+		liveupdate.WithSyncEvery(*syncEvery),
+		liveupdate.WithTraining(!*noTrain),
+		liveupdate.WithIsolation(!*noIsolation),
+	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	gen := liveupdate.NewWorkload(profile, *seed^0x5e)
 
-	fmt.Printf("liveupdate-serve %s: profile=%s training=%v isolation=%v\n",
-		liveupdate.Version, profile.Name, opts.EnableTraining, opts.EnableScheduling)
-	fmt.Printf("%-10s %-10s %-12s %-12s %-14s %-12s\n",
-		"served", "P99(ms)", "violations", "trainSteps", "loraOverhead", "virtTime(s)")
+	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s training=%v isolation=%v\n",
+		liveupdate.Version, profile.Name, *replicas, *router, !*noTrain, !*noIsolation)
+	fmt.Printf("%-10s %-10s %-12s %-12s %-14s %-8s %-12s %-12s\n",
+		"served", "P99(ms)", "violations", "trainSteps", "loraOverhead", "syncs", "syncBytes", "virtTime(s)")
+	printStats := func(st liveupdate.Stats) {
+		fmt.Printf("%-10d %-10.3f %-12.4f %-12d %-14.4f %-8d %-12d %-12.2f\n",
+			st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps,
+			st.MemoryOverhead, st.Syncs, st.SyncBytes, st.VirtualTime)
+	}
 	for i := 1; i <= *requests; i++ {
-		sys.Serve(gen.Next())
-		if i%*report == 0 || i == *requests {
-			fmt.Printf("%-10d %-10.3f %-12.4f %-12d %-14.4f %-12.2f\n",
-				i,
-				sys.Node.P99()*1000,
-				sys.Node.ViolationRate(),
-				sys.TrainSteps(),
-				sys.MemoryOverhead(),
-				sys.Clock.Now())
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			fatalf("serve: %v", err)
 		}
+		if (*report > 0 && i%*report == 0) || i == *requests {
+			printStats(srv.Stats())
+		}
+	}
+	if st := srv.Stats(); len(st.Replicas) > 0 {
+		fmt.Println("\nper-replica breakdown:")
+		fmt.Printf("  %-8s %-10s %-10s %-12s %-12s %-12s\n",
+			"replica", "served", "P99(ms)", "violations", "trainSteps", "virtTime(s)")
+		for i, rs := range st.Replicas {
+			fmt.Printf("  %-8d %-10d %-10.3f %-12.4f %-12d %-12.2f\n",
+				i, rs.Served, rs.P99*1000, rs.ViolationRate, rs.TrainSteps, rs.VirtualTime)
+		}
+		fmt.Printf("\nfleet sync: %d syncs, %d payload bytes, %.4f virtual s\n",
+			st.Syncs, st.SyncBytes, st.SyncSeconds)
 	}
 }

@@ -1,101 +1,97 @@
-// Cluster: multi-node LoRA synchronization (paper §IV-E and Fig 19). Four
-// replica nodes train adapters on disjoint request shards; the sparse
-// priority-merge protocol (Algorithm 3) reconciles them over a tree
-// AllGather, and every replica converges to identical effective embeddings —
-// the replica-consistency requirement of §II-C.
+// Cluster: multi-node serving with LoRA synchronization (paper §II-C, §IV-E,
+// Fig 19), entirely through the public liveupdate API. Four replica nodes
+// share one base checkpoint; the hash router shards requests by embedding
+// locality, so each replica trains its adapters on a disjoint slice of the
+// id space; the periodic sparse priority-merge sync (Algorithm 3 over a tree
+// AllGather) reconciles them, and every replica converges to identical
+// effective embeddings — the replica-consistency requirement of §II-C.
 package main
 
 import (
 	"fmt"
+	"time"
 
-	"liveupdate/internal/collective"
-	"liveupdate/internal/dlrm"
-	"liveupdate/internal/emt"
-	"liveupdate/internal/lora"
-	"liveupdate/internal/simnet"
-	"liveupdate/internal/tensor"
-	"liveupdate/internal/trace"
+	"liveupdate"
 )
 
 func main() {
-	const nodes = 4
-	profile := trace.Profiles()["criteo"]
+	profile, err := liveupdate.ProfileByName("criteo")
+	if err != nil {
+		panic(err)
+	}
 	profile.NumTables = 3
 	profile.TableSize = 500
 	profile.NumDense = 4
 	profile.MultiHot = []int{1, 1, 1}
 
-	// Shared base model + EMT (every node serves the same checkpoint).
-	rng := tensor.NewRNG(11)
-	model := dlrm.MustNewModel(dlrm.ConfigForProfile(profile), rng)
-	base := emt.NewGroup(profile.NumTables, profile.TableSize, profile.EmbeddingDim, rng)
-
-	replicas := make([]*lora.Set, nodes)
-	for i := range replicas {
-		cfg := lora.DefaultConfig(profile.TableSize, profile.EmbeddingDim)
-		cfg.Seed = uint64(i)
-		// In multi-node mode the LoRA rank is coordinated globally (rank
-		// changes ride the hourly full sync); independent per-replica rank
-		// adaptation would make the A·B factors structurally incompatible
-		// at merge time (Algorithm 3 exchanges factor rows, not ∆W).
-		cfg.DisableRankAdapt = true
-		replicas[i] = lora.MustNewSet(base.Clone(), cfg)
-	}
-
-	// Each node trains on its shard of the stream.
-	gen := trace.MustNewGenerator(profile, 23)
-	for i := 0; i < 2000; i++ {
-		s := gen.Next()
-		rep := replicas[i%nodes]
-		var cache dlrm.ForwardCache
-		logit := model.Forward(rep, s.Dense, s.Sparse, &cache)
-		dLogit := dlrm.Sigmoid(logit) - float64(s.Label)
-		dEmb := model.Backward(dLogit, &cache)
-		model.Bottom.ZeroGrad()
-		model.Top.ZeroGrad()
-		for t, g := range dEmb {
-			rep.ApplyGrad(t, s.Sparse[t], g, 0.05)
-		}
-	}
-
-	// Synchronize: priority merge + tree AllGather on a 100 GbE fabric.
-	clock := simnet.NewClock()
-	sg := collective.NewSyncGroup(replicas, simnet.Gbps100, 0.001)
-	stats, err := sg.Sync(clock)
+	srv, err := liveupdate.New(
+		liveupdate.WithProfile(profile),
+		liveupdate.WithSeed(11),
+		liveupdate.WithReplicas(4),
+		liveupdate.WithRouter(liveupdate.HashRouter),
+		liveupdate.WithSyncEvery(0), // sync manually below to show the before/after
+	)
 	if err != nil {
 		panic(err)
 	}
+	fleet := srv.(*liveupdate.Cluster)
+
+	// Serve a shard-routed stream; each replica's co-located trainer only
+	// sees the requests the router sends it.
+	gen := liveupdate.NewWorkload(profile, 23)
+	for i := 0; i < 2000; i++ {
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			panic(err)
+		}
+	}
 	fmt.Println("Multi-node LoRA sync (Algorithm 3 + tree AllGather)")
+	fmt.Printf("  consistent before sync: %v (disjoint shards diverge)\n",
+		fleet.ReplicasConsistent(50))
+
+	// Synchronize: priority merge + tree AllGather on a 100 GbE fabric.
+	stats, err := fleet.SyncNow()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  nodes:            %d\n", stats.Participants)
 	fmt.Printf("  rows merged:      %d\n", stats.RowsMerged)
 	fmt.Printf("  write conflicts:  %d (resolved max-rank-wins)\n", stats.Conflicts)
 	fmt.Printf("  payload:          %d bytes\n", stats.PayloadBytes)
-	fmt.Printf("  virtual time:     %.4f s\n", clock.Now())
+	fmt.Printf("  replica consistency: %v (identical outputs for identical inputs)\n",
+		fleet.ReplicasConsistent(50))
 
-	// Verify replica consistency on a few hot rows.
-	consistent := true
-	probe := make([]float64, profile.EmbeddingDim)
-	ref := make([]float64, profile.EmbeddingDim)
-	for table := 0; table < profile.NumTables; table++ {
-		for id := int32(0); id < 50; id++ {
-			replicas[0].EffectiveRow(table, id, ref)
-			for r := 1; r < nodes; r++ {
-				replicas[r].EffectiveRow(table, id, probe)
-				for d := range ref {
-					if probe[d] != ref[d] {
-						consistent = false
-					}
-				}
-			}
+	// The merged fleet snapshot: true cross-replica P99 plus sync costs.
+	st := srv.Stats()
+	fmt.Println("\nMerged fleet stats")
+	fmt.Printf("  served:        %d across %d replicas (router %s)\n",
+		st.Served, len(st.Replicas), fleet.RouterName())
+	fmt.Printf("  fleet P99:     %.3f ms (violation rate %.4f)\n", st.P99*1000, st.ViolationRate)
+	fmt.Printf("  train steps:   %d\n", st.TrainSteps)
+	fmt.Printf("  sync cost:     %d bytes in %.4f virtual s\n", st.SyncBytes, st.SyncSeconds)
+	for i, rs := range st.Replicas {
+		fmt.Printf("    replica %d: served %4d  P99 %.3f ms  train %d\n",
+			i, rs.Served, rs.P99*1000, rs.TrainSteps)
+	}
+
+	// A fleet with the periodic sync left on: syncs ride the virtual clock.
+	auto, err := liveupdate.New(
+		liveupdate.WithProfile(profile),
+		liveupdate.WithReplicas(4),
+		liveupdate.WithRouter(liveupdate.HashRouter),
+		liveupdate.WithSyncEvery(2*time.Second),
+	)
+	if err != nil {
+		panic(err)
+	}
+	gen2 := liveupdate.NewWorkload(profile, 29)
+	for i := 0; i < 2000; i++ {
+		if _, err := auto.Serve(gen2.Next()); err != nil {
+			panic(err)
 		}
 	}
-	fmt.Printf("  replica consistency: %v (identical outputs for identical inputs)\n", consistent)
-
-	// The Fig 19 scaling story: tree AllGather keeps sync time log-like.
-	fmt.Println("\nSync time vs cluster size (1 TB total LoRA payload, 100 GbE):")
-	for _, n := range []int{2, 4, 8, 16, 32, 48} {
-		perNode := int64(1<<40) / int64(n)
-		t := collective.AllGatherTime(n, perNode, 100e9/8, 0.005)
-		fmt.Printf("  %2d nodes: %6.1f s (%d rounds)\n", n, t, collective.AllGatherRounds(n))
-	}
+	ast := auto.Stats()
+	fmt.Printf("\nPeriodic sync every 2s of virtual time: %d syncs in %.2f virtual s\n",
+		ast.Syncs, ast.VirtualTime)
+	fmt.Println("(replicas legally diverge again between syncs — the paper's short-term")
+	fmt.Println(" local tier; each sync restores fleet-wide consistency)")
 }

@@ -36,31 +36,35 @@ func main() {
 		"config", "P99(ms)", "violations", "train_hit", "infer_hit")
 
 	for _, c := range configs {
-		opts := liveupdate.DefaultOptions(profile, 21)
-		opts.EnableTraining = c.training
-		opts.EnableScheduling = c.sched
-		opts.EnableReuse = c.reuse
-		// Scaled hardware so contention is visible on demo-sized tables.
-		opts.Node.GPUDenseTime = 0.001
-		opts.Machine.L3BlocksPerCCD = 48
-		opts.Machine.DRAMBandwidth = 1e7
-		opts.Machine.Concurrency = 32
-		opts.TrainInterval = 4
-
-		sys, err := liveupdate.New(opts)
+		sys, err := liveupdate.New(
+			liveupdate.WithProfile(profile),
+			liveupdate.WithSeed(21),
+			liveupdate.WithSystemOptions(func(o *liveupdate.Options) {
+				o.EnableTraining = c.training
+				o.EnableScheduling = c.sched
+				o.EnableReuse = c.reuse
+				// Scaled hardware so contention is visible on demo-sized
+				// tables.
+				o.Node.GPUDenseTime = 0.001
+				o.Machine.L3BlocksPerCCD = 48
+				o.Machine.DRAMBandwidth = 1e7
+				o.Machine.Concurrency = 32
+				o.TrainInterval = 4
+			}),
+		)
 		if err != nil {
 			panic(err)
 		}
 		gen := liveupdate.NewWorkload(profile, 77)
 		for i := 0; i < 3000; i++ {
-			sys.Serve(gen.Next())
+			if _, err := sys.Serve(gen.Next()); err != nil {
+				panic(err)
+			}
 		}
+		st := sys.Stats()
 		fmt.Printf("%-22s %-10.3f %-12.4f %-12.3f %-12.3f\n",
-			c.name,
-			sys.Node.P99()*1000,
-			sys.Node.ViolationRate(),
-			sys.Machine.HitRatio(liveupdate.WorkloadTraining),
-			sys.Machine.HitRatio(liveupdate.WorkloadInference))
+			c.name, st.P99*1000, st.ViolationRate,
+			st.TrainingHitRatio, st.InferenceHitRatio)
 	}
 	fmt.Println("\nExpected shape: naive co-location inflates P99 well above the")
 	fmt.Println("floor; scheduling isolates the caches; reuse removes the trainer's")

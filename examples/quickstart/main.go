@@ -1,4 +1,4 @@
-// Quickstart: build a LiveUpdate system, serve a drifting CTR stream, and
+// Quickstart: build a LiveUpdate server, serve a drifting CTR stream, and
 // watch the co-located LoRA trainer keep the model fresh at near-zero
 // serving overhead.
 package main
@@ -19,7 +19,7 @@ func main() {
 
 	// 2. Build the full system: serving + co-located LoRA trainer with
 	// NUMA-aware isolation and embedding-vector reuse.
-	sys, err := liveupdate.New(liveupdate.DefaultOptions(profile, 42))
+	srv, err := liveupdate.New(liveupdate.WithProfile(profile), liveupdate.WithSeed(42))
 	if err != nil {
 		panic(err)
 	}
@@ -28,25 +28,21 @@ func main() {
 	gen := liveupdate.NewWorkload(profile, 42)
 	const requests = 5000
 	for i := 0; i < requests; i++ {
-		sys.Serve(gen.Next())
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			panic(err)
+		}
 	}
 
 	// 4. Inspect the outcome: tail latency, training activity, memory cost.
+	st := srv.Stats()
 	fmt.Println("LiveUpdate quickstart")
-	fmt.Printf("  requests served:        %d\n", sys.Node.Served())
-	fmt.Printf("  P99 latency:            %.3f ms (SLA %.0f ms)\n",
-		sys.Node.P99()*1000, sys.Opts.Node.SLA*1000)
-	fmt.Printf("  SLA violation rate:     %.4f\n", sys.Node.ViolationRate())
-	fmt.Printf("  co-located train steps: %d\n", sys.TrainSteps())
-	fmt.Printf("  LoRA memory overhead:   %.2f%% of EMTs\n", sys.MemoryOverhead()*100)
+	fmt.Printf("  requests served:        %d\n", st.Served)
+	fmt.Printf("  P99 latency:            %.3f ms (SLA %.0f ms)\n", st.P99*1000, st.SLA*1000)
+	fmt.Printf("  SLA violation rate:     %.4f\n", st.ViolationRate)
+	fmt.Printf("  co-located train steps: %d\n", st.TrainSteps)
+	fmt.Printf("  LoRA memory overhead:   %.2f%% of EMTs\n", st.MemoryOverhead*100)
 	fmt.Println("  (demo tables are tiny, so the resident hot set is a larger share;")
 	fmt.Println("   at production scale the same pruning yields <2% — see fig17)")
-	fmt.Printf("  virtual time elapsed:   %.1f s\n", sys.Clock.Now())
-
-	active := 0
-	for _, a := range sys.LoRA.Adapters {
-		active += a.ActiveCount()
-	}
-	fmt.Printf("  active LoRA rows:       %d (rank %d)\n",
-		active, sys.LoRA.Adapters[0].Rank())
+	fmt.Printf("  virtual time elapsed:   %.1f s\n", st.VirtualTime)
+	fmt.Printf("  active LoRA rows:       %d (rank %d)\n", st.LoRAHotRows, st.LoRARank)
 }

@@ -1,0 +1,3 @@
+module liveupdate
+
+go 1.22

@@ -23,11 +23,15 @@ func TestEndToEndFreshnessRecovery(t *testing.T) {
 		p99     float64
 	}
 	run := func(training bool) outcome {
-		opts := DefaultOptions(p, 11)
-		opts.EnableTraining = training
-		opts.TrainInterval = 2
-		opts.TrainBatch = 16
-		sys, err := New(opts)
+		sys, err := New(
+			WithProfile(p),
+			WithSeed(11),
+			WithTraining(training),
+			WithSystemOptions(func(o *Options) {
+				o.TrainInterval = 2
+				o.TrainBatch = 16
+			}),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,17 +42,20 @@ func TestEndToEndFreshnessRecovery(t *testing.T) {
 		var labels []int
 		for i := 0; i < total; i++ {
 			s := gen.Next()
-			prob, _ := sys.Serve(s)
+			resp, err := sys.Serve(s)
+			if err != nil {
+				t.Fatal(err)
+			}
 			// Advance virtual workload time so drift accumulates.
 			gen.Advance(1.5)
 			if i >= total/2 { // score only the late half, after drift
-				scores = append(scores, prob)
+				scores = append(scores, resp.Prob)
 				labels = append(labels, s.Label)
 			}
 		}
 		return outcome{
 			lateAUC: metrics.AUC(scores, labels),
-			p99:     sys.Node.P99(),
+			p99:     sys.Stats().P99,
 		}
 	}
 

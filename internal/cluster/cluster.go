@@ -1,0 +1,239 @@
+// Package cluster runs a fleet of LiveUpdate replicas behind one serving
+// front door (paper §II-C and §IV-E): N core.Systems share a common base
+// checkpoint, a Router spreads requests across them, and a periodic
+// priority-merge synchronization (Algorithm 3 over the tree AllGather of
+// internal/collective) reconciles the per-replica LoRA adapters so every
+// replica converges to identical effective embeddings — the paper's
+// replica-consistency requirement.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"liveupdate/internal/collective"
+	"liveupdate/internal/core"
+	"liveupdate/internal/lora"
+	"liveupdate/internal/metrics"
+	"liveupdate/internal/simnet"
+	"liveupdate/internal/trace"
+)
+
+// Config describes a replica fleet.
+type Config struct {
+	// Base configures each replica. All replicas are built from the same
+	// options (same seed → same base checkpoint); local rank adaptation is
+	// force-disabled because Algorithm 3 exchanges factor rows, which
+	// requires a fleet-wide common rank (rank changes ride the full sync).
+	Base core.Options
+
+	// Replicas is the fleet size (≥ 1).
+	Replicas int
+
+	// Router picks the serving replica per request. Defaults to round-robin.
+	Router Router
+
+	// SyncEvery is the virtual-time interval between LoRA priority-merge
+	// syncs, measured on the fleet-max clock. Zero disables periodic syncs
+	// (SyncNow remains available).
+	SyncEvery time.Duration
+
+	// BandwidthBps and LatencySec describe the sync fabric links. Zero
+	// values default to 100 GbE / 1 ms.
+	BandwidthBps float64
+	LatencySec   float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Replicas < 1 {
+		return fmt.Errorf("cluster: Replicas must be >= 1, got %d", c.Replicas)
+	}
+	if c.SyncEvery < 0 {
+		return fmt.Errorf("cluster: SyncEvery must be non-negative")
+	}
+	if c.BandwidthBps < 0 || c.LatencySec < 0 {
+		return fmt.Errorf("cluster: link parameters must be non-negative")
+	}
+	return c.Base.Validate()
+}
+
+// Cluster is a fleet of replica Systems behind a Router. It implements the
+// same Serve/Stats surface as a single core.System, so callers can scale
+// from one node to a fleet without changing the serving loop.
+type Cluster struct {
+	cfg      Config
+	replicas []*core.System
+	router   Router
+	sync     *collective.SyncGroup
+
+	// syncClock accumulates virtual time spent inside priority-merge syncs,
+	// separate from the replicas' serving clocks.
+	syncClock *simnet.Clock
+	lastSync  float64 // fleet-max clock at the previous periodic sync
+}
+
+// New builds the fleet: Replicas identical Systems from cfg.Base (shared
+// base checkpoint), wired into one SyncGroup.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Router == nil {
+		cfg.Router = &roundRobinRouter{}
+	}
+	if cfg.BandwidthBps == 0 {
+		cfg.BandwidthBps = simnet.Gbps100
+	}
+	if cfg.LatencySec == 0 {
+		cfg.LatencySec = 0.001
+	}
+	c := &Cluster{cfg: cfg, router: cfg.Router, syncClock: simnet.NewClock()}
+	sets := make([]*lora.Set, cfg.Replicas)
+	for i := range sets {
+		opts := cfg.Base
+		// All replicas must hold structurally compatible LoRA factors for
+		// the merge; see Config.Base.
+		opts.LoRA.DisableRankAdapt = true
+		sys, err := core.New(opts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+		c.replicas = append(c.replicas, sys)
+		sets[i] = sys.LoRA
+	}
+	c.sync = collective.NewSyncGroup(sets, cfg.BandwidthBps, cfg.LatencySec)
+	return c, nil
+}
+
+// Size returns the number of replicas.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// Replica exposes one replica System (read-mostly: experiments and tests).
+func (c *Cluster) Replica(i int) *core.System { return c.replicas[i] }
+
+// RouterName returns the active routing policy's name.
+func (c *Cluster) RouterName() string { return c.router.Name() }
+
+// Serve routes one request to a replica, serves it there (including that
+// replica's co-located training tick), and runs a periodic LoRA sync when
+// the fleet clock has advanced past the configured interval.
+func (c *Cluster) Serve(s trace.Sample) (core.Response, error) {
+	i := c.router.Route(s, c.replicas)
+	if i < 0 || i >= len(c.replicas) {
+		return core.Response{}, fmt.Errorf("cluster: router %s picked replica %d of %d",
+			c.router.Name(), i, len(c.replicas))
+	}
+	resp, err := c.replicas[i].Serve(s)
+	if err != nil {
+		return resp, err
+	}
+	resp.Replica = i
+	if d := c.cfg.SyncEvery.Seconds(); d > 0 && c.fleetClock()-c.lastSync >= d {
+		if _, err := c.SyncNow(); err != nil {
+			return resp, err
+		}
+	}
+	return resp, nil
+}
+
+// fleetClock returns the most advanced replica clock — the fleet's wall
+// time under concurrent serving.
+func (c *Cluster) fleetClock() float64 {
+	max := 0.0
+	for _, r := range c.replicas {
+		if t := r.Clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// SyncNow runs one LoRA priority-merge synchronization across the fleet
+// (Algorithm 3 + tree AllGather) and returns its merge statistics. After it
+// returns, every replica holds identical adapter state.
+func (c *Cluster) SyncNow() (collective.MergeStats, error) {
+	stats, err := c.sync.Sync(c.syncClock)
+	if err != nil {
+		return stats, fmt.Errorf("cluster: sync failed: %w", err)
+	}
+	c.lastSync = c.fleetClock()
+	return stats, nil
+}
+
+// ReplicasConsistent verifies the §II-C invariant: for the first idsPerTable
+// ids of every table, all replicas produce identical effective embedding
+// rows (base + LoRA delta). It is meaningful right after a sync.
+func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
+	if len(c.replicas) < 2 {
+		return true
+	}
+	p := c.cfg.Base.Profile
+	ref := make([]float64, p.EmbeddingDim)
+	probe := make([]float64, p.EmbeddingDim)
+	for table := 0; table < p.NumTables; table++ {
+		n := int32(idsPerTable)
+		if int(n) > p.TableSize {
+			n = int32(p.TableSize)
+		}
+		for id := int32(0); id < n; id++ {
+			c.replicas[0].LoRA.EffectiveRow(table, id, ref)
+			for r := 1; r < len(c.replicas); r++ {
+				c.replicas[r].LoRA.EffectiveRow(table, id, probe)
+				for d := range ref {
+					if probe[d] != ref[d] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Stats returns the merged fleet snapshot: exact sums for counters, a true
+// fleet-wide P99/P50 computed over the union of the replicas' latency
+// windows (not an average of per-replica quantiles), and the per-replica
+// breakdown in Replicas.
+func (c *Cluster) Stats() core.Stats {
+	merged := core.Stats{
+		Syncs:       0,
+		VirtualTime: c.fleetClock(),
+	}
+	syncs, bytes, seconds := c.sync.Stats()
+	merged.Syncs = syncs
+	merged.SyncBytes = bytes
+	merged.SyncSeconds = seconds
+	merged.SLA = c.cfg.Base.Node.SLA
+
+	var lat []float64
+	var latencySum float64
+	var hitInf, hitTrain float64
+	for _, r := range c.replicas {
+		rs := r.Stats()
+		merged.Served += rs.Served
+		merged.Violations += rs.Violations
+		merged.TrainSteps += rs.TrainSteps
+		merged.FullSyncs += rs.FullSyncs
+		merged.LoRAHotRows += rs.LoRAHotRows
+		latencySum += rs.MeanLatency * float64(rs.Served)
+		hitInf += rs.InferenceHitRatio
+		hitTrain += rs.TrainingHitRatio
+		lat = append(lat, r.Node.LatencySamples()...)
+		merged.Replicas = append(merged.Replicas, rs)
+	}
+	n := float64(len(c.replicas))
+	merged.P50 = metrics.Quantile(lat, 0.50)
+	merged.P99 = metrics.Quantile(lat, 0.99)
+	merged.InferenceHitRatio = hitInf / n
+	merged.TrainingHitRatio = hitTrain / n
+	if merged.Served > 0 {
+		merged.ViolationRate = float64(merged.Violations) / float64(merged.Served)
+		merged.MeanLatency = latencySum / float64(merged.Served)
+	}
+	// Adapter footprint and rank are identical across replicas by
+	// construction; report one replica's view, not the sum.
+	merged.MemoryOverhead = c.replicas[0].MemoryOverhead()
+	merged.LoRARank = c.replicas[0].LoRA.Adapters[0].Rank()
+	return merged
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/trace"
+)
+
+func testProfile(t *testing.T) trace.Profile {
+	t.Helper()
+	p, err := trace.ProfileByName("criteo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NumTables = 3
+	p.TableSize = 300
+	p.NumDense = 4
+	p.MultiHot = []int{1, 1, 1}
+	return p
+}
+
+func testConfig(t *testing.T, replicas int) Config {
+	t.Helper()
+	opts := core.DefaultOptions(testProfile(t), 42)
+	opts.TrainInterval = 4
+	return Config{Base: opts, Replicas: replicas}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig(t, 0)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Replicas=0 must be rejected")
+	}
+	cfg = testConfig(t, 2)
+	cfg.SyncEvery = -time.Second
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative SyncEvery must be rejected")
+	}
+}
+
+func TestRoundRobinRouterCycles(t *testing.T) {
+	c, err := New(testConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 7)
+	for i := 0; i < 9; i++ {
+		resp, err := c.Serve(gen.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Replica != i%3 {
+			t.Fatalf("request %d routed to %d, want %d", i, resp.Replica, i%3)
+		}
+	}
+}
+
+func TestHashRouterDeterministic(t *testing.T) {
+	c, err := New(func() Config { cfg := testConfig(t, 4); r, _ := NewRouter(Hash); cfg.Router = r; return cfg }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 9)
+	s := gen.Next()
+	first, err := c.Serve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		resp, err := c.Serve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Replica != first.Replica {
+			t.Fatalf("hash router not deterministic: %d then %d", first.Replica, resp.Replica)
+		}
+		r2, err := c.Serve(gen.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r2.Replica] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("hash router sent every distinct request to one replica: %v", seen)
+	}
+}
+
+func TestLeastLoadedBalancesBacklog(t *testing.T) {
+	cfg := testConfig(t, 3)
+	r, err := NewRouter(LeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Router = r
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 11)
+	for i := 0; i < 300; i++ {
+		if _, err := c.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	for i, rs := range st.Replicas {
+		if rs.Served == 0 {
+			t.Fatalf("replica %d never served under least-loaded", i)
+		}
+	}
+}
+
+func TestUnknownRouterPolicy(t *testing.T) {
+	if _, err := NewRouter(Policy("nope")); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}
+
+func TestSyncRestoresReplicaConsistency(t *testing.T) {
+	cfg := testConfig(t, 4)
+	r, err := NewRouter(Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Router = r
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 13)
+	for i := 0; i < 800; i++ {
+		if _, err := c.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.ReplicasConsistent(50) {
+		t.Fatal("sharded training must diverge replicas before sync")
+	}
+	stats, err := c.SyncNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 4 || stats.RowsMerged == 0 || stats.PayloadBytes == 0 {
+		t.Fatalf("implausible merge stats: %+v", stats)
+	}
+	if !c.ReplicasConsistent(50) {
+		t.Fatal("replicas must hold identical effective embeddings after sync")
+	}
+}
+
+func TestPeriodicSyncTriggers(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.SyncEvery = 50 * time.Millisecond // a few requests of virtual time
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 17)
+	for i := 0; i < 400; i++ {
+		if _, err := c.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Syncs == 0 {
+		t.Fatal("periodic sync never fired")
+	}
+	if st.SyncBytes == 0 || st.SyncSeconds <= 0 {
+		t.Fatalf("sync accounting missing: %+v", st)
+	}
+}
+
+func TestMergedStats(t *testing.T) {
+	cfg := testConfig(t, 3)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 19)
+	for i := 0; i < 300; i++ {
+		if _, err := c.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Served != 300 {
+		t.Fatalf("merged Served = %d, want 300", st.Served)
+	}
+	if len(st.Replicas) != 3 {
+		t.Fatalf("want 3 replica breakdowns, got %d", len(st.Replicas))
+	}
+	var sumServed, sumSteps uint64
+	for _, rs := range st.Replicas {
+		sumServed += rs.Served
+		sumSteps += rs.TrainSteps
+	}
+	if sumServed != st.Served || sumSteps != st.TrainSteps {
+		t.Fatalf("breakdown does not add up: %+v", st)
+	}
+	if st.P99 <= 0 || st.MeanLatency <= 0 {
+		t.Fatalf("fleet latency stats missing: %+v", st)
+	}
+	if st.VirtualTime <= 0 {
+		t.Fatal("fleet clock must advance")
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/trace"
+)
+
+// Router picks the replica that serves a request. Implementations may keep
+// state (e.g. a round-robin cursor); a Router instance belongs to exactly one
+// Cluster.
+type Router interface {
+	// Route returns the index in fleet of the replica to serve s.
+	Route(s trace.Sample, fleet []*core.System) int
+	// Name identifies the policy in stats output and CLI flags.
+	Name() string
+}
+
+// Policy names a built-in routing policy.
+type Policy string
+
+const (
+	// RoundRobin cycles through replicas in order — uniform load, no
+	// locality.
+	RoundRobin Policy = "round-robin"
+	// LeastLoaded sends each request to the replica with the smallest
+	// virtual-time backlog, absorbing skew at the cost of locality.
+	LeastLoaded Policy = "least-loaded"
+	// Hash shards by the request's sparse feature ids, so requests touching
+	// the same embedding rows land on the same replica (embedding locality:
+	// hot rows stay resident in one replica's cache and LoRA support).
+	Hash Policy = "hash"
+)
+
+// Policies lists the built-in routing policies in presentation order.
+func Policies() []Policy { return []Policy{RoundRobin, LeastLoaded, Hash} }
+
+// NewRouter constructs a fresh router for a built-in policy.
+func NewRouter(p Policy) (Router, error) {
+	switch p {
+	case RoundRobin:
+		return &roundRobinRouter{}, nil
+	case LeastLoaded:
+		return leastLoadedRouter{}, nil
+	case Hash:
+		return hashRouter{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown router policy %q (valid: %v)", p, Policies())
+	}
+}
+
+type roundRobinRouter struct{ next int }
+
+func (r *roundRobinRouter) Route(_ trace.Sample, fleet []*core.System) int {
+	i := r.next % len(fleet)
+	r.next = (r.next + 1) % len(fleet)
+	return i
+}
+
+func (r *roundRobinRouter) Name() string { return string(RoundRobin) }
+
+type leastLoadedRouter struct{}
+
+func (leastLoadedRouter) Route(_ trace.Sample, fleet []*core.System) int {
+	best := 0
+	for i := 1; i < len(fleet); i++ {
+		if fleet[i].Clock.Now() < fleet[best].Clock.Now() {
+			best = i
+		}
+	}
+	return best
+}
+
+func (leastLoadedRouter) Name() string { return string(LeastLoaded) }
+
+type hashRouter struct{}
+
+func (hashRouter) Route(s trace.Sample, fleet []*core.System) int {
+	// FNV-1a over (table, id) pairs: identical sparse feature sets always
+	// map to the same replica.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint32) {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(v >> shift))
+			h *= prime64
+		}
+	}
+	for t, ids := range s.Sparse {
+		mix(uint32(t))
+		for _, id := range ids {
+			mix(uint32(id))
+		}
+	}
+	return int(h % uint64(len(fleet)))
+}
+
+func (hashRouter) Name() string { return string(Hash) }

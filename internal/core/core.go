@@ -156,11 +156,53 @@ func MustNew(opts Options) *System {
 	return s
 }
 
+// Response is the result of serving one request through a Server.
+type Response struct {
+	Prob    float64 // predicted click probability
+	Latency float64 // request latency in virtual seconds
+	Replica int     // index of the replica that served the request (0 on a single node)
+}
+
+// Stats is a point-in-time snapshot of a Server. For a single System the
+// fleet fields (Replicas, Syncs, SyncBytes, SyncSeconds) are zero; for a
+// Cluster the top-level fields are the merged fleet view and Replicas holds
+// the per-replica breakdown.
+type Stats struct {
+	Served        uint64  // requests processed
+	P50           float64 // median latency over the tracker window, seconds
+	P99           float64 // 99th-percentile latency over the tracker window, seconds
+	MeanLatency   float64 // mean latency over all observed requests, seconds
+	SLA           float64 // configured P99 target, seconds
+	Violations    uint64  // requests above the SLA
+	ViolationRate float64 // Violations / Served
+
+	TrainSteps     uint64  // co-located LoRA training ticks
+	FullSyncs      uint64  // full-parameter syncs installed
+	MemoryOverhead float64 // LoRA bytes / base EMT bytes
+	LoRAHotRows    int     // active adapter rows across tables
+	LoRARank       int     // current adapter rank (table 0)
+
+	InferenceHitRatio float64 // L3 hit ratio of the inference workload
+	TrainingHitRatio  float64 // L3 hit ratio of the training workload
+	VirtualTime       float64 // node clock, seconds (fleet: max across replicas)
+
+	// Fleet-level fields, populated by Cluster.
+	Replicas    []Stats // per-replica snapshots, in replica order
+	Syncs       int     // priority-merge synchronizations performed
+	SyncBytes   int64   // cumulative exported LoRA payload moved
+	SyncSeconds float64 // cumulative virtual time spent in syncs
+}
+
 // Serve processes one request through the serving path, interleaving
-// co-located training ticks per the configured cadence, and returns the
-// prediction and request latency.
-func (s *System) Serve(sample trace.Sample) (prob, latency float64) {
-	prob, latency = s.Node.Serve(sample)
+// co-located training ticks per the configured cadence. It returns the
+// prediction and request latency; the only error is a sample whose sparse
+// feature count does not match the profile.
+func (s *System) Serve(sample trace.Sample) (Response, error) {
+	if len(sample.Sparse) != s.Opts.Profile.NumTables {
+		return Response{}, fmt.Errorf("core: sample has %d sparse fields, profile %q expects %d",
+			len(sample.Sparse), s.Opts.Profile.Name, s.Opts.Profile.NumTables)
+	}
+	prob, latency := s.Node.Serve(sample)
 	if s.Opts.EnableTraining {
 		s.sinceTrain++
 		if s.sinceTrain >= s.Opts.TrainInterval {
@@ -171,7 +213,32 @@ func (s *System) Serve(sample trace.Sample) (prob, latency float64) {
 			}
 		}
 	}
-	return prob, latency
+	return Response{Prob: prob, Latency: latency}, nil
+}
+
+// Stats snapshots the node's serving, training, and memory statistics.
+func (s *System) Stats() Stats {
+	hot := 0
+	for _, a := range s.LoRA.Adapters {
+		hot += a.ActiveCount()
+	}
+	return Stats{
+		Served:            s.Node.Served(),
+		P50:               s.Node.Lat.P50(),
+		P99:               s.Node.P99(),
+		MeanLatency:       s.Node.Lat.Mean(),
+		SLA:               s.Opts.Node.SLA,
+		Violations:        s.Node.Violations(),
+		ViolationRate:     s.Node.ViolationRate(),
+		TrainSteps:        s.trainSteps,
+		FullSyncs:         s.fullSyncs,
+		MemoryOverhead:    s.MemoryOverhead(),
+		LoRAHotRows:       hot,
+		LoRARank:          s.LoRA.Adapters[0].Rank(),
+		InferenceHitRatio: s.Machine.HitRatio(numasim.Inference),
+		TrainingHitRatio:  s.Machine.HitRatio(numasim.Training),
+		VirtualTime:       s.Clock.Now(),
+	}
 }
 
 // TrainTick runs one co-located training step: a mini-batch sampled from the

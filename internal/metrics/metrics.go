@@ -156,6 +156,13 @@ func (t *LatencyTracker) P50() float64 { return Quantile(t.samples, 0.50) }
 // QuantileOf returns an arbitrary quantile over the retained window.
 func (t *LatencyTracker) QuantileOf(q float64) float64 { return Quantile(t.samples, q) }
 
+// Samples returns a copy of the retained window (unordered with respect to
+// observation time once the window has wrapped). It lets callers pool raw
+// latencies across trackers, e.g. for a fleet-wide P99.
+func (t *LatencyTracker) Samples() []float64 {
+	return append([]float64(nil), t.samples...)
+}
+
 // Reset drops all retained samples and counters.
 func (t *LatencyTracker) Reset() {
 	t.samples = t.samples[:0]

@@ -201,6 +201,15 @@ func (n *Node) P99() float64 { return n.Lat.P99() }
 // Served returns the number of requests processed.
 func (n *Node) Served() uint64 { return n.served }
 
+// Violations returns the number of requests that exceeded the SLA. Exposing
+// the raw count (not just the rate) lets a fleet merge per-replica violation
+// statistics exactly.
+func (n *Node) Violations() uint64 { return n.violations }
+
+// LatencySamples returns a copy of the tracker's retained latency window, the
+// raw material for cross-replica quantile merging.
+func (n *Node) LatencySamples() []float64 { return n.Lat.Samples() }
+
 // ViolationRate returns the fraction of requests exceeding the SLA.
 func (n *Node) ViolationRate() float64 {
 	if n.served == 0 {

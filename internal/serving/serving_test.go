@@ -64,6 +64,38 @@ func TestRingBufferBasics(t *testing.T) {
 	}
 }
 
+func TestRingBufferRecentWrapAroundOrdering(t *testing.T) {
+	const cap = 5
+	r := NewRingBuffer(cap)
+	// Drive the write cursor across the wrap seam several times and verify
+	// Recent returns chronologically ordered samples (newest last) at every
+	// position of the cursor, for both full-window and partial reads.
+	for i := 0; i < 3*cap+2; i++ {
+		r.Push(trace.Sample{Time: float64(i)})
+		newest := float64(i)
+		for _, n := range []int{1, 2, cap, cap + 3} {
+			got := r.Recent(n)
+			want := n
+			if want > r.Len() {
+				want = r.Len()
+			}
+			if len(got) != want {
+				t.Fatalf("push %d: Recent(%d) returned %d samples, want %d", i, n, len(got), want)
+			}
+			for k, s := range got {
+				expect := newest - float64(want-1-k)
+				if s.Time != expect {
+					t.Fatalf("push %d: Recent(%d)[%d] = %v, want %v (wrap-around order broken)",
+						i, n, k, s.Time, expect)
+				}
+			}
+		}
+	}
+	if got := r.Recent(0); len(got) != 0 {
+		t.Fatalf("Recent(0) must be empty, got %d", len(got))
+	}
+}
+
 func TestRingBufferSample(t *testing.T) {
 	r := NewRingBuffer(10)
 	rng := tensor.NewRNG(3)

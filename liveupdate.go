@@ -2,35 +2,52 @@
 // Freshness for Recommendation Systems via Inference-Side Model Updates"
 // (HPCA 2026). It provides:
 //
-//   - the LiveUpdate system itself: a DLRM serving node with a co-located
-//     LoRA trainer, dynamic rank adaptation, usage-based pruning, and
-//     NUMA-aware performance isolation (System, Options);
+//   - the LiveUpdate serving stack behind one Server interface: a single
+//     co-located node (System) or a replica fleet with request routing and
+//     periodic LoRA priority-merge synchronization (Cluster);
 //   - the baselines the paper compares against: NoUpdate, DeltaUpdate, and
 //     QuickUpdate, behind a single comparison harness (Comparison);
 //   - the evaluation suite: every table and figure of the paper's §V can be
 //     regenerated with RunExperiment.
 //
 // The heavy machinery lives in internal/ packages (tensor math, DLRM,
-// embedding tables, LoRA adapters, the discrete-event cluster simulation,
-// and the NUMA hardware model); this package re-exports the surface a
-// downstream user needs.
+// embedding tables, LoRA adapters, the replica fleet, the discrete-event
+// cluster simulation, and the NUMA hardware model); this package re-exports
+// the surface a downstream user needs.
 //
-// Quickstart:
+// Quickstart — single node:
 //
 //	profile, _ := liveupdate.ProfileByName("criteo")
-//	sys, err := liveupdate.New(liveupdate.DefaultOptions(profile, 42))
+//	srv, err := liveupdate.New(liveupdate.WithProfile(profile), liveupdate.WithSeed(42))
 //	if err != nil { ... }
 //	gen := liveupdate.NewWorkload(profile, 42)
 //	for i := 0; i < 10000; i++ {
-//	    prob, latency := sys.Serve(gen.Next())
-//	    _ = prob; _ = latency
+//	    resp, err := srv.Serve(gen.Next())
+//	    _ = resp.Prob; _ = err
 //	}
-//	fmt.Println("P99:", sys.Node.P99(), "LoRA overhead:", sys.MemoryOverhead())
+//	st := srv.Stats()
+//	fmt.Println("P99:", st.P99, "LoRA overhead:", st.MemoryOverhead)
+//
+// Scaling out is one option away — four replicas sharing a base checkpoint,
+// embedding-locality routing, and a LoRA sync every 30 virtual seconds:
+//
+//	srv, err := liveupdate.New(
+//	    liveupdate.WithProfile(profile),
+//	    liveupdate.WithReplicas(4),
+//	    liveupdate.WithRouter(liveupdate.HashRouter),
+//	    liveupdate.WithSyncEvery(30*time.Second),
+//	)
+//
+// Stats() on a Cluster returns the merged fleet view (true cross-replica
+// P99, exact violation counts, sync payload accounting) with a per-replica
+// breakdown in Stats.Replicas.
 package liveupdate
 
 import (
 	"fmt"
+	"time"
 
+	"liveupdate/internal/cluster"
 	"liveupdate/internal/core"
 	"liveupdate/internal/experiments"
 	"liveupdate/internal/numasim"
@@ -39,14 +56,62 @@ import (
 )
 
 // Version identifies this reproduction release.
-const Version = "1.0.0"
+const Version = "2.0.0"
 
-// System is a LiveUpdate inference node: serving plus co-located LoRA
+// Server is the unified serving abstraction: one request in, a scored
+// response out, plus a consistent statistics snapshot. Both the single-node
+// System and the multi-replica Cluster implement it, so serving loops,
+// benchmarks, and the CLI scale from one node to a fleet unchanged.
+type Server interface {
+	// Serve scores one request (and, on a LiveUpdate node, interleaves the
+	// co-located training tick).
+	Serve(Sample) (Response, error)
+	// Stats snapshots serving, training, memory, and — for a fleet — sync
+	// statistics.
+	Stats() Stats
+}
+
+// Both serving topologies implement Server.
+var (
+	_ Server = (*System)(nil)
+	_ Server = (*Cluster)(nil)
+)
+
+// Response is the result of serving one request.
+type Response = core.Response
+
+// Stats is a Server statistics snapshot. On a Cluster the top-level fields
+// are merged across the fleet and Replicas carries the per-replica view.
+type Stats = core.Stats
+
+// System is a single LiveUpdate inference node: serving plus co-located LoRA
 // training with performance isolation. See internal/core for details.
 type System = core.System
 
-// Options configures a System.
-type Options = core.Options
+// Cluster is a fleet of replica Systems sharing one base checkpoint, with
+// pluggable request routing and periodic LoRA priority-merge sync. See
+// internal/cluster for details.
+type Cluster = cluster.Cluster
+
+// Router picks the replica that serves each request.
+type Router = cluster.Router
+
+// RouterPolicy names a built-in routing policy for WithRouter.
+type RouterPolicy = cluster.Policy
+
+// The built-in routing policies.
+const (
+	// RoundRobinRouter cycles through replicas uniformly.
+	RoundRobinRouter = cluster.RoundRobin
+	// LeastLoadedRouter picks the replica with the smallest virtual-time
+	// backlog.
+	LeastLoadedRouter = cluster.LeastLoaded
+	// HashRouter shards by sparse feature ids for embedding locality.
+	HashRouter = cluster.Hash
+)
+
+// RouterPolicies lists the built-in routing policies.
+func RouterPolicies() []RouterPolicy { return cluster.Policies() }
 
 // Profile describes a dataset/workload (paper Table II).
 type Profile = trace.Profile
@@ -78,12 +143,182 @@ const (
 	WorkloadTraining  = numasim.Training
 )
 
-// New builds a LiveUpdate system.
-func New(opts Options) (*System, error) { return core.New(opts) }
+// Option configures New. Options compose left to right; later options win.
+type Option interface {
+	apply(*config) error
+}
 
-// DefaultOptions returns the full-system configuration (training, NUMA
-// scheduling, and embedding-vector reuse all enabled) for a profile.
-func DefaultOptions(p Profile, seed uint64) Options { return core.DefaultOptions(p, seed) }
+type optionFunc func(*config) error
+
+func (f optionFunc) apply(c *config) error { return f(c) }
+
+type config struct {
+	profile   *Profile
+	seed      uint64
+	seedSet   bool
+	replicas  int
+	router    RouterPolicy
+	syncEvery time.Duration
+	legacy    *core.Options
+	overrides []func(*core.Options)
+}
+
+// WithProfile selects the dataset/workload profile (required unless a legacy
+// Options value is supplied).
+func WithProfile(p Profile) Option {
+	return optionFunc(func(c *config) error {
+		c.profile = &p
+		return nil
+	})
+}
+
+// WithSeed sets the deterministic seed for model init, workload hashing, and
+// training. The default is 42.
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(c *config) error {
+		c.seed = seed
+		c.seedSet = true
+		return nil
+	})
+}
+
+// WithReplicas sets the fleet size. 1 (the default) builds a single System;
+// n > 1 builds a Cluster of n replicas sharing one base checkpoint.
+func WithReplicas(n int) Option {
+	return optionFunc(func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("liveupdate: WithReplicas(%d): fleet size must be >= 1", n)
+		}
+		c.replicas = n
+		return nil
+	})
+}
+
+// WithRouter selects the request-routing policy for a fleet. The default is
+// round-robin. It has no effect on a single-node Server.
+func WithRouter(p RouterPolicy) Option {
+	return optionFunc(func(c *config) error {
+		if _, err := cluster.NewRouter(p); err != nil {
+			return err
+		}
+		c.router = p
+		return nil
+	})
+}
+
+// WithSyncEvery sets the virtual-time interval between fleet-wide LoRA
+// priority-merge syncs (default 30s of virtual time). Zero disables periodic
+// syncs. It has no effect on a single-node Server.
+func WithSyncEvery(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("liveupdate: WithSyncEvery(%v): interval must be non-negative", d)
+		}
+		c.syncEvery = d
+		return nil
+	})
+}
+
+// WithTraining toggles the co-located LoRA trainer (off = the paper's
+// "Only Infer" baseline).
+func WithTraining(enabled bool) Option {
+	return optionFunc(func(c *config) error {
+		c.overrides = append(c.overrides, func(o *core.Options) { o.EnableTraining = enabled })
+		return nil
+	})
+}
+
+// WithIsolation toggles NUMA-aware CCD scheduling and embedding-vector reuse
+// together (off = the paper's naive co-location, "w/o Opt").
+func WithIsolation(enabled bool) Option {
+	return optionFunc(func(c *config) error {
+		c.overrides = append(c.overrides, func(o *core.Options) {
+			o.EnableScheduling = enabled
+			o.EnableReuse = enabled
+		})
+		return nil
+	})
+}
+
+// WithSystemOptions applies an arbitrary edit to the underlying per-node
+// core options after defaults are computed — the escape hatch for knobs
+// without a dedicated Option (train cadence, SLA, machine model, ...).
+func WithSystemOptions(edit func(*Options)) Option {
+	return optionFunc(func(c *config) error {
+		c.overrides = append(c.overrides, func(o *core.Options) {
+			edit((*Options)(o))
+		})
+		return nil
+	})
+}
+
+// Options is the legacy flat configuration struct.
+//
+// Deprecated: build Servers with New and functional options (WithProfile,
+// WithSeed, WithReplicas, ...). Options itself implements Option, so
+// existing New(DefaultOptions(p, seed)) call sites keep working; the value
+// is taken verbatim as the per-node configuration.
+type Options core.Options
+
+func (o Options) apply(c *config) error {
+	co := core.Options(o)
+	c.legacy = &co
+	return nil
+}
+
+// DefaultOptions returns the full-system single-node configuration
+// (training, NUMA scheduling, and embedding-vector reuse all enabled) for a
+// profile.
+//
+// Deprecated: prefer functional options; kept for the legacy New(Options)
+// form and as the base WithSystemOptions edits.
+func DefaultOptions(p Profile, seed uint64) Options {
+	return Options(core.DefaultOptions(p, seed))
+}
+
+// New builds a Server. With WithReplicas(1) (the default) the result is a
+// single-node *System; with more replicas it is a *Cluster. A legacy Options
+// value may be passed instead of (not alongside) WithProfile/WithSeed.
+func New(opts ...Option) (Server, error) {
+	c := config{seed: 42, replicas: 1, router: RoundRobinRouter, syncEvery: 30 * time.Second}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o.apply(&c); err != nil {
+			return nil, err
+		}
+	}
+	var base core.Options
+	switch {
+	case c.legacy != nil && c.profile != nil:
+		return nil, fmt.Errorf("liveupdate: legacy Options and WithProfile are mutually exclusive")
+	case c.legacy != nil && c.seedSet:
+		return nil, fmt.Errorf("liveupdate: legacy Options and WithSeed are mutually exclusive (set Options.Seed instead)")
+	case c.legacy != nil:
+		base = *c.legacy
+	case c.profile != nil:
+		base = core.DefaultOptions(*c.profile, c.seed)
+	default:
+		return nil, fmt.Errorf("liveupdate: New requires WithProfile (or a legacy Options value)")
+	}
+	for _, edit := range c.overrides {
+		edit(&base)
+	}
+	if c.replicas == 1 {
+		return core.New(base)
+	}
+	router, err := cluster.NewRouter(c.router)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		Base:      base,
+		Replicas:  c.replicas,
+		Router:    router,
+		SyncEvery: c.syncEvery,
+	})
+}
 
 // Profiles returns the dataset registry (paper Table II).
 func Profiles() map[string]Profile { return trace.Profiles() }

@@ -3,6 +3,7 @@ package liveupdate
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func smallProfile(t *testing.T) Profile {
@@ -20,22 +21,114 @@ func smallProfile(t *testing.T) Profile {
 
 func TestPublicQuickstartFlow(t *testing.T) {
 	p := smallProfile(t)
-	sys, err := New(DefaultOptions(p, 42))
+	srv, err := New(WithProfile(p), WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, ok := srv.(*System); !ok {
+		t.Fatalf("single-replica New must build a *System, got %T", srv)
+	}
 	gen := NewWorkload(p, 42)
 	for i := 0; i < 100; i++ {
-		prob, latency := sys.Serve(gen.Next())
-		if prob <= 0 || prob >= 1 || latency <= 0 {
-			t.Fatalf("bad serve output: %v %v", prob, latency)
+		resp, err := srv.Serve(gen.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Prob <= 0 || resp.Prob >= 1 || resp.Latency <= 0 {
+			t.Fatalf("bad serve output: %+v", resp)
+		}
+		if resp.Replica != 0 {
+			t.Fatalf("single node must report replica 0, got %d", resp.Replica)
 		}
 	}
-	if sys.Node.P99() <= 0 {
+	st := srv.Stats()
+	if st.P99 <= 0 {
 		t.Fatal("P99 must be measurable")
 	}
-	if sys.MemoryOverhead() < 0 {
+	if st.Served != 100 {
+		t.Fatalf("Served = %d, want 100", st.Served)
+	}
+	if st.MemoryOverhead < 0 {
 		t.Fatal("overhead must be non-negative")
+	}
+}
+
+func TestLegacyOptionsShim(t *testing.T) {
+	p := smallProfile(t)
+	opts := DefaultOptions(p, 7)
+	opts.EnableTraining = false
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewWorkload(p, 7)
+	for i := 0; i < 50; i++ {
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Stats(); st.TrainSteps != 0 {
+		t.Fatalf("training disabled via legacy Options, but %d train steps ran", st.TrainSteps)
+	}
+	if _, err := New(opts, WithProfile(p)); err == nil {
+		t.Fatal("legacy Options + WithProfile must be rejected")
+	}
+	if _, err := New(opts, WithSeed(9)); err == nil {
+		t.Fatal("legacy Options + WithSeed must be rejected, not silently ignored")
+	}
+}
+
+func TestNewOptionValidation(t *testing.T) {
+	p := smallProfile(t)
+	if _, err := New(); err == nil {
+		t.Fatal("New without a profile must error")
+	}
+	if _, err := New(WithProfile(p), WithReplicas(0)); err == nil {
+		t.Fatal("WithReplicas(0) must error")
+	}
+	if _, err := New(WithProfile(p), WithRouter(RouterPolicy("bogus"))); err == nil {
+		t.Fatal("unknown router policy must error")
+	}
+	if _, err := New(WithProfile(p), WithSyncEvery(-time.Second)); err == nil {
+		t.Fatal("negative sync interval must error")
+	}
+}
+
+func TestServeRejectsMismatchedSample(t *testing.T) {
+	p := smallProfile(t)
+	srv, err := New(WithProfile(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Sample{Dense: make([]float64, p.NumDense), Sparse: [][]int32{{1}}}
+	if _, err := srv.Serve(bad); err == nil {
+		t.Fatal("sample with wrong sparse arity must be rejected")
+	}
+}
+
+func TestWithSystemOptionsOverride(t *testing.T) {
+	p := smallProfile(t)
+	srv, err := New(WithProfile(p), WithSystemOptions(func(o *Options) {
+		o.Node.SLA = 0.042
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla := srv.Stats().SLA; sla != 0.042 {
+		t.Fatalf("SLA override not applied: %v", sla)
+	}
+}
+
+func TestRouterPoliciesExposed(t *testing.T) {
+	ps := RouterPolicies()
+	if len(ps) != 3 {
+		t.Fatalf("want 3 router policies, got %v", ps)
+	}
+	want := map[RouterPolicy]bool{RoundRobinRouter: true, LeastLoadedRouter: true, HashRouter: true}
+	for _, p := range ps {
+		if !want[p] {
+			t.Fatalf("unexpected policy %q", p)
+		}
 	}
 }
 
@@ -71,8 +164,22 @@ func TestRunExperimentKnownAndUnknown(t *testing.T) {
 	if !strings.Contains(out, "Criteo") {
 		t.Fatalf("table2 output missing datasets:\n%s", out)
 	}
-	if _, err := RunExperiment("nope", 1, true); err == nil {
+}
+
+func TestRunExperimentUnknownIDError(t *testing.T) {
+	_, err := RunExperiment("nope", 1, true)
+	if err == nil {
 		t.Fatal("unknown experiment must error")
+	}
+	// The error must name the bad id and list the valid ones, so a CLI user
+	// can self-correct.
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("error must quote the unknown id: %v", err)
+	}
+	for _, id := range []string{"table2", "fig19"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("error must list valid id %q: %v", id, err)
+		}
 	}
 }
 
