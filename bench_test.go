@@ -11,6 +11,7 @@ package liveupdate
 
 import (
 	"testing"
+	"time"
 
 	"liveupdate/internal/collective"
 	"liveupdate/internal/dlrm"
@@ -86,6 +87,56 @@ func BenchmarkServeRequest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys.Serve(samples[i%len(samples)])
 	}
+}
+
+// benchFleet builds the 4-replica hash-routed fleet both cluster-serving
+// benchmarks share. Hash routing keeps the request→replica assignment
+// deterministic, so the sequential and parallel benches do identical
+// virtual-time work and their wall-clock ratio is a pure concurrency win.
+func benchFleet(b *testing.B) (Server, *Workload) {
+	b.Helper()
+	p := benchServingProfile()
+	srv, err := New(
+		WithProfile(p),
+		WithSeed(1),
+		WithReplicas(4),
+		WithRouter(HashRouter),
+		WithSyncEvery(30*time.Second),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, NewWorkload(p, 2)
+}
+
+// BenchmarkClusterServeSequential drives a 4-replica fleet one request at a
+// time from a single goroutine — the pre-concurrency baseline.
+func BenchmarkClusterServeSequential(b *testing.B) {
+	srv, gen := benchFleet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterServeParallel drives the same fleet with 8 worker
+// goroutines through Drive. Compared against the Sequential bench it shows
+// the wall-clock speedup of parallel replica serving; the virtual-time
+// Stats (Served, Violations, sync counts) are identical between the two —
+// see TestDriveMatchesSequentialServe.
+func BenchmarkClusterServeParallel(b *testing.B) {
+	srv, gen := benchFleet(b)
+	b.ResetTimer()
+	rep, err := Drive(srv, gen, DriveConfig{Requests: b.N, Concurrency: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Served != uint64(b.N) {
+		b.Fatalf("served %d of %d", rep.Served, b.N)
+	}
+	b.ReportMetric(rep.QPS, "req/s")
 }
 
 // BenchmarkLoRATrainStep measures one co-located LoRA training step

@@ -103,3 +103,76 @@ func TestClusterPeriodicSyncPublicAPI(t *testing.T) {
 		t.Fatalf("replica breakdown (%d) disagrees with merged Served (%d)", perReplica, st.Served)
 	}
 }
+
+// driveFleet builds a 4-replica hash-routed fleet with a fast periodic sync
+// and returns it plus a fresh workload at a fixed seed.
+func driveFleet(t *testing.T) (liveupdate.Server, *liveupdate.Workload) {
+	t.Helper()
+	p := clusterProfile(t)
+	srv, err := liveupdate.New(
+		liveupdate.WithProfile(p),
+		liveupdate.WithSeed(31),
+		liveupdate.WithReplicas(4),
+		liveupdate.WithRouter(liveupdate.HashRouter),
+		liveupdate.WithSyncEvery(2*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, liveupdate.NewWorkload(p, 31)
+}
+
+// TestDriveMatchesSequentialServe is the acceptance property of the
+// concurrent load driver, at the public API: an 8-worker Drive over a
+// 4-replica fleet produces exactly the virtual-time statistics of a plain
+// sequential Serve loop — same Served, Violations, TrainSteps, periodic
+// sync count, per-replica clocks, and fleet P99 — while actually serving
+// replicas from parallel goroutines.
+func TestDriveMatchesSequentialServe(t *testing.T) {
+	const requests = 3000
+
+	seq, gen := driveFleet(t)
+	for i := 0; i < requests; i++ {
+		if _, err := seq.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seq.Stats()
+
+	par, gen := driveFleet(t)
+	rep, err := liveupdate.Drive(par, gen, liveupdate.DriveConfig{
+		Requests:    requests,
+		Concurrency: 8,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served != requests {
+		t.Fatalf("drive served %d of %d", rep.Served, requests)
+	}
+	got := rep.Final
+
+	if want.Syncs == 0 {
+		t.Fatalf("fixture too small: no periodic syncs in %.2fs of virtual time", want.VirtualTime)
+	}
+	if got.Served != want.Served || got.Violations != want.Violations ||
+		got.TrainSteps != want.TrainSteps || got.Syncs != want.Syncs ||
+		got.VirtualTime != want.VirtualTime || got.P99 != want.P99 || got.P50 != want.P50 {
+		t.Fatalf("parallel drive diverged from sequential serve:\n"+
+			"  sequential: served=%d violations=%d steps=%d syncs=%d vt=%v p99=%v\n"+
+			"  parallel:   served=%d violations=%d steps=%d syncs=%d vt=%v p99=%v",
+			want.Served, want.Violations, want.TrainSteps, want.Syncs, want.VirtualTime, want.P99,
+			got.Served, got.Violations, got.TrainSteps, got.Syncs, got.VirtualTime, got.P99)
+	}
+	if len(got.Replicas) != len(want.Replicas) {
+		t.Fatalf("replica counts differ: %d vs %d", len(got.Replicas), len(want.Replicas))
+	}
+	for i := range want.Replicas {
+		w, g := want.Replicas[i], got.Replicas[i]
+		if g.Served != w.Served || g.Violations != w.Violations ||
+			g.TrainSteps != w.TrainSteps || g.VirtualTime != w.VirtualTime || g.P99 != w.P99 {
+			t.Fatalf("replica %d diverged:\n  sequential: %+v\n  parallel:   %+v", i, w, g)
+		}
+	}
+}

@@ -4,13 +4,21 @@
 //
 //	liveupdate-bench -exp fig14            # one experiment, full fidelity
 //	liveupdate-bench -exp all -quick       # everything, reduced samples
+//	liveupdate-bench -exp all -concurrency 4  # experiments in parallel
 //	liveupdate-bench -list                 # show available experiment ids
+//
+// Exit status: 0 on success, 1 when an experiment fails, 2 when emitting
+// results fails (e.g. a closed or full output pipe) — results that cannot
+// be written are results that were never delivered, so write errors are
+// checked and fatal rather than silently dropped.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"liveupdate"
@@ -21,12 +29,37 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	quick := flag.Bool("quick", false, "reduced sample counts (smoke run)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	concurrency := flag.Int("concurrency", 1,
+		"experiments to run in parallel (output order stays deterministic)")
 	flag.Parse()
+
+	if *concurrency < 1 {
+		fmt.Fprintf(os.Stderr, "liveupdate-bench: -concurrency must be >= 1, got %d\n", *concurrency)
+		os.Exit(1)
+	}
+
+	// All result emission goes through one checked writer: a write error
+	// (closed pipe, full disk) must surface as a non-zero exit, not be
+	// ignored sample by sample.
+	out := bufio.NewWriter(os.Stdout)
+	emit := func(format string, args ...any) {
+		if _, err := fmt.Fprintf(out, format, args...); err != nil {
+			fmt.Fprintf(os.Stderr, "liveupdate-bench: writing results: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	flush := func() {
+		if err := out.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "liveupdate-bench: flushing results: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		for _, id := range liveupdate.ExperimentIDs() {
-			fmt.Println(id)
+			emit("%s\n", id)
 		}
+		flush()
 		return
 	}
 
@@ -34,18 +67,42 @@ func main() {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
+
+	// Run experiments (optionally in parallel), then emit in id order so the
+	// report layout is independent of scheduling.
+	type result struct {
+		out     string
+		seconds float64
+		err     error
+	}
+	results := make([]result, len(ids))
+	sem := make(chan struct{}, *concurrency)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			out, err := liveupdate.RunExperiment(id, *seed, *quick)
+			results[i] = result{out: out, seconds: time.Since(start).Seconds(), err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
 	failed := 0
-	for _, id := range ids {
-		start := time.Now()
-		out, err := liveupdate.RunExperiment(id, *seed, *quick)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+	for i, id := range ids {
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, r.err)
 			failed++
 			continue
 		}
-		fmt.Print(out)
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		emit("%s", r.out)
+		emit("(%s in %.1fs)\n\n", id, r.seconds)
 	}
+	flush()
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -6,6 +6,7 @@
 //
 //	liveupdate-serve -profile criteo -requests 20000 -report 5000
 //	liveupdate-serve -replicas 4 -router hash -sync 30s
+//	liveupdate-serve -replicas 4 -concurrency 8   # parallel load driver
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 		"virtual-time interval between fleet LoRA syncs (0 disables)")
 	noTrain := flag.Bool("no-train", false, "disable the co-located trainer (Only-Infer mode)")
 	noIsolation := flag.Bool("no-isolation", false, "disable NUMA scheduling and reuse (naive co-location)")
+	concurrency := flag.Int("concurrency", 1,
+		"client goroutines driving the fleet (1 = plain sequential loop; virtual-time stats are identical either way)")
 	flag.Parse()
 
 	// Validate flags up front so bad values produce an error, not a panic
@@ -49,6 +52,9 @@ func main() {
 	}
 	if *syncEvery < 0 {
 		fatalf("-sync must be non-negative, got %v", *syncEvery)
+	}
+	if *concurrency < 1 {
+		fatalf("-concurrency must be >= 1, got %d", *concurrency)
 	}
 
 	profile, err := liveupdate.ProfileByName(*profileName)
@@ -69,8 +75,8 @@ func main() {
 	}
 	gen := liveupdate.NewWorkload(profile, *seed^0x5e)
 
-	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s training=%v isolation=%v\n",
-		liveupdate.Version, profile.Name, *replicas, *router, !*noTrain, !*noIsolation)
+	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s training=%v isolation=%v concurrency=%d\n",
+		liveupdate.Version, profile.Name, *replicas, *router, !*noTrain, !*noIsolation, *concurrency)
 	fmt.Printf("%-10s %-10s %-12s %-12s %-14s %-8s %-12s %-12s\n",
 		"served", "P99(ms)", "violations", "trainSteps", "loraOverhead", "syncs", "syncBytes", "virtTime(s)")
 	printStats := func(st liveupdate.Stats) {
@@ -78,12 +84,38 @@ func main() {
 			st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps,
 			st.MemoryOverhead, st.Syncs, st.SyncBytes, st.VirtualTime)
 	}
-	for i := 1; i <= *requests; i++ {
-		if _, err := srv.Serve(gen.Next()); err != nil {
-			fatalf("serve: %v", err)
+	if *concurrency == 1 {
+		for i := 1; i <= *requests; i++ {
+			if _, err := srv.Serve(gen.Next()); err != nil {
+				fatalf("serve: %v", err)
+			}
+			if (*report > 0 && i%*report == 0) || i == *requests {
+				printStats(srv.Stats())
+			}
 		}
-		if (*report > 0 && i%*report == 0) || i == *requests {
+	} else {
+		var lastPrinted uint64 // written under Drive's serialized OnProgress, read after it returns
+		rep, err := liveupdate.Drive(srv, gen, liveupdate.DriveConfig{
+			Requests:      *requests,
+			Concurrency:   *concurrency,
+			Seed:          *seed,
+			ProgressEvery: *report,
+			OnProgress: func(served uint64) {
+				lastPrinted = served
+				printStats(srv.Stats())
+			},
+		})
+		if err != nil {
+			fatalf("drive: %v", err)
+		}
+		if lastPrinted != rep.Served {
 			printStats(srv.Stats())
+		}
+		fmt.Printf("\ndrive: %d workers over %d shard(s): %d req in %v wall (%.0f req/s wall, %.0f req/s virtual)\n",
+			rep.Workers, rep.Shards, rep.Served, rep.Elapsed.Round(time.Millisecond), rep.QPS, rep.VirtualQPS)
+		for _, ws := range rep.PerWorker {
+			fmt.Printf("  worker %-3d shards=%-8v served=%-8d busy=%-12v meanLat=%.3fms\n",
+				ws.Worker, ws.Shards, ws.Served, ws.Busy.Round(time.Millisecond), ws.MeanLatency*1000)
 		}
 	}
 	if st := srv.Stats(); len(st.Replicas) > 0 {

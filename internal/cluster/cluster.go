@@ -5,10 +5,34 @@
 // internal/collective) reconciles the per-replica LoRA adapters so every
 // replica converges to identical effective embeddings — the paper's
 // replica-consistency requirement.
+//
+// # Concurrency model
+//
+// A Cluster is safe for concurrent callers and is designed so independent
+// replicas serve genuinely in parallel:
+//
+//   - Serve/ServeShard take a fleet-wide read lock (RWMutex.RLock) plus the
+//     target replica's own mutex (inside core.System.Serve). Requests for
+//     different replicas never contend; requests for the same replica
+//     serialize, matching the single-server virtual-clock model.
+//   - A priority-merge sync takes the fleet-wide write lock: it is a barrier
+//     that waits for in-flight requests to drain, mutates every replica's
+//     LoRA set, and only then readmits traffic — replica-consistency
+//     semantics are unchanged from the sequential implementation.
+//   - Periodic syncs trigger on virtual-time epochs: epoch k starts when the
+//     fleet clock crosses k·SyncEvery, and each epoch is synced exactly
+//     once. Because a replica's virtual timeline depends only on its own
+//     request subsequence (LoRA values never feed back into latency), the
+//     periodic sync count — like Served, Violations, and every per-replica
+//     virtual-time statistic — is identical no matter how many goroutines
+//     drive the fleet, as long as per-replica request order is preserved
+//     (see internal/driver, which guarantees exactly that).
 package cluster
 
 import (
 	"fmt"
+	"math"
+	"sync"
 	"time"
 
 	"liveupdate/internal/collective"
@@ -34,8 +58,8 @@ type Config struct {
 	Router Router
 
 	// SyncEvery is the virtual-time interval between LoRA priority-merge
-	// syncs, measured on the fleet-max clock. Zero disables periodic syncs
-	// (SyncNow remains available).
+	// syncs: one sync fires for each SyncEvery epoch the fleet-max clock
+	// crosses. Zero disables periodic syncs (SyncNow remains available).
 	SyncEvery time.Duration
 
 	// BandwidthBps and LatencySec describe the sync fabric links. Zero
@@ -60,7 +84,8 @@ func (c Config) Validate() error {
 
 // Cluster is a fleet of replica Systems behind a Router. It implements the
 // same Serve/Stats surface as a single core.System, so callers can scale
-// from one node to a fleet without changing the serving loop.
+// from one node to a fleet without changing the serving loop, and it is safe
+// for concurrent callers (see the package comment for the locking model).
 type Cluster struct {
 	cfg      Config
 	replicas []*core.System
@@ -70,7 +95,23 @@ type Cluster struct {
 	// syncClock accumulates virtual time spent inside priority-merge syncs,
 	// separate from the replicas' serving clocks.
 	syncClock *simnet.Clock
-	lastSync  float64 // fleet-max clock at the previous periodic sync
+
+	// fleetMu is the serve/sync barrier: Serve holds it for read, syncs and
+	// other fleet-wide mutations hold it for write.
+	fleetMu sync.RWMutex
+	// syncedEpoch is the last SyncEvery epoch a periodic sync has covered.
+	// Guarded by fleetMu (written under the write lock, read under either).
+	syncedEpoch int64
+
+	// gen counts state-changing operations (serves, syncs); the merged-stats
+	// cache is keyed on it so Stats() is O(1) between changes. It is sharded
+	// by replica so concurrent workers bump disjoint cache lines on the
+	// serve hot path instead of contending on one atomic.
+	gen     *metrics.ShardedCounter
+	statsMu sync.Mutex
+	stats   core.Stats
+	statsOK bool
+	statsAt uint64
 }
 
 // New builds the fleet: Replicas identical Systems from cfg.Base (shared
@@ -88,7 +129,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.LatencySec == 0 {
 		cfg.LatencySec = 0.001
 	}
-	c := &Cluster{cfg: cfg, router: cfg.Router, syncClock: simnet.NewClock()}
+	c := &Cluster{
+		cfg:       cfg,
+		router:    cfg.Router,
+		syncClock: simnet.NewClock(),
+		gen:       metrics.NewShardedCounter(cfg.Replicas),
+	}
 	sets := make([]*lora.Set, cfg.Replicas)
 	for i := range sets {
 		opts := cfg.Base
@@ -115,30 +161,80 @@ func (c *Cluster) Replica(i int) *core.System { return c.replicas[i] }
 // RouterName returns the active routing policy's name.
 func (c *Cluster) RouterName() string { return c.router.Name() }
 
-// Serve routes one request to a replica, serves it there (including that
-// replica's co-located training tick), and runs a periodic LoRA sync when
-// the fleet clock has advanced past the configured interval.
+// NumShards returns the number of independently-serving shards (replicas).
+// Together with ShardOf and ServeShard it lets a load driver pre-route
+// requests and preserve per-replica order across worker goroutines.
+func (c *Cluster) NumShards() int { return len(c.replicas) }
+
+// ShardOf routes one request to a replica index without serving it. Routing
+// and serving are deliberately split so a concurrent driver can route the
+// trace in a single deterministic sequence and then serve shards in
+// parallel. Each request must be routed exactly once: stateful routers
+// (round-robin) advance their cursor here.
+func (c *Cluster) ShardOf(s trace.Sample) int { return c.router.Route(s, c.replicas) }
+
+// Serve routes one request to a replica and serves it there (including that
+// replica's co-located training tick). Safe for concurrent callers; note
+// that concurrent callers race for per-replica arrival order, so run-to-run
+// determinism under concurrency additionally needs ordered per-shard
+// delivery (internal/driver provides it).
 func (c *Cluster) Serve(s trace.Sample) (core.Response, error) {
-	i := c.router.Route(s, c.replicas)
-	if i < 0 || i >= len(c.replicas) {
+	return c.ServeShard(c.ShardOf(s), s)
+}
+
+// ServeShard serves one request on a specific replica, then fires any
+// periodic LoRA syncs whose virtual-time epoch the fleet clock has crossed.
+func (c *Cluster) ServeShard(shard int, s trace.Sample) (core.Response, error) {
+	if shard < 0 || shard >= len(c.replicas) {
 		return core.Response{}, fmt.Errorf("cluster: router %s picked replica %d of %d",
-			c.router.Name(), i, len(c.replicas))
+			c.router.Name(), shard, len(c.replicas))
 	}
-	resp, err := c.replicas[i].Serve(s)
+	c.fleetMu.RLock()
+	resp, err := c.replicas[shard].Serve(s)
 	if err != nil {
+		c.fleetMu.RUnlock()
 		return resp, err
 	}
-	resp.Replica = i
-	if d := c.cfg.SyncEvery.Seconds(); d > 0 && c.fleetClock()-c.lastSync >= d {
-		if _, err := c.SyncNow(); err != nil {
+	resp.Replica = shard
+	needSync := false
+	if d := c.cfg.SyncEvery.Seconds(); d > 0 && c.epochOf(d) > c.syncedEpoch {
+		needSync = true
+	}
+	c.gen.Add(shard, 1)
+	c.fleetMu.RUnlock()
+	if needSync {
+		if err := c.syncPendingEpochs(); err != nil {
 			return resp, err
 		}
 	}
 	return resp, nil
 }
 
+// epochOf returns the SyncEvery epoch the fleet clock is currently in.
+// Callers must hold fleetMu (read or write).
+func (c *Cluster) epochOf(d float64) int64 {
+	return int64(math.Floor(c.fleetClock() / d))
+}
+
+// syncPendingEpochs takes the fleet write lock and syncs once per epoch the
+// fleet clock has crossed since the last periodic sync. The recheck under
+// the write lock makes racing callers idempotent: whoever gets the lock
+// first syncs, the rest observe syncedEpoch caught up and do nothing.
+func (c *Cluster) syncPendingEpochs() error {
+	d := c.cfg.SyncEvery.Seconds()
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	for target := c.epochOf(d); c.syncedEpoch < target; c.syncedEpoch++ {
+		if _, err := c.syncLocked(); err != nil {
+			return fmt.Errorf("cluster: periodic sync: %w", err)
+		}
+	}
+	return nil
+}
+
 // fleetClock returns the most advanced replica clock — the fleet's wall
-// time under concurrent serving.
+// time under concurrent serving. Clock reads are atomic, so this is safe
+// whenever the caller holds fleetMu for read or write.
 func (c *Cluster) fleetClock() float64 {
 	max := 0.0
 	for _, r := range c.replicas {
@@ -150,24 +246,57 @@ func (c *Cluster) fleetClock() float64 {
 }
 
 // SyncNow runs one LoRA priority-merge synchronization across the fleet
-// (Algorithm 3 + tree AllGather) and returns its merge statistics. After it
-// returns, every replica holds identical adapter state.
+// (Algorithm 3 + tree AllGather) and returns its merge statistics. It takes
+// the fleet-wide write lock — a barrier for in-flight requests — and after
+// it returns every replica holds identical adapter state. Manual syncs do
+// not consume periodic epochs.
 func (c *Cluster) SyncNow() (collective.MergeStats, error) {
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	return c.syncLocked()
+}
+
+// lockReplicas freezes every replica's node mutex (ascending order, no
+// cycles: nothing holds one replica's mutex while waiting on another's), so
+// fleet-wide mutations honor core.System's concurrency contract even for
+// callers driving a replica directly via Replica(i). Callers must hold
+// fleetMu for write.
+func (c *Cluster) lockReplicas() {
+	for _, r := range c.replicas {
+		r.Lock()
+	}
+}
+
+func (c *Cluster) unlockReplicas() {
+	for i := len(c.replicas) - 1; i >= 0; i-- {
+		c.replicas[i].Unlock()
+	}
+}
+
+// syncLocked runs one sync; callers must hold the fleet write lock.
+func (c *Cluster) syncLocked() (collective.MergeStats, error) {
+	c.lockReplicas()
 	stats, err := c.sync.Sync(c.syncClock)
+	c.unlockReplicas()
 	if err != nil {
 		return stats, fmt.Errorf("cluster: sync failed: %w", err)
 	}
-	c.lastSync = c.fleetClock()
+	c.gen.Add(0, 1)
 	return stats, nil
 }
 
 // ReplicasConsistent verifies the §II-C invariant: for the first idsPerTable
 // ids of every table, all replicas produce identical effective embedding
-// rows (base + LoRA delta). It is meaningful right after a sync.
+// rows (base + LoRA delta). It is meaningful right after a sync. It takes
+// the fleet write lock to read a frozen snapshot.
 func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 	if len(c.replicas) < 2 {
 		return true
 	}
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	c.lockReplicas()
+	defer c.unlockReplicas()
 	p := c.cfg.Base.Profile
 	ref := make([]float64, p.EmbeddingDim)
 	probe := make([]float64, p.EmbeddingDim)
@@ -195,9 +324,40 @@ func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 // fleet-wide P99/P50 computed over the union of the replicas' latency
 // windows (not an average of per-replica quantiles), and the per-replica
 // breakdown in Replicas.
+//
+// When no latency samples have been retained anywhere in the fleet (nothing
+// served yet), P50 and P99 are NaN — the documented "no data" sentinel;
+// check with math.IsNaN rather than comparing against zero, which is a
+// legitimate latency floor.
+//
+// Merging is O(replicas × latency window); the result is cached and
+// recomputed only after state has changed (a serve or a sync), so polling
+// Stats in a reporting loop is cheap.
 func (c *Cluster) Stats() core.Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	gen := c.gen.Load()
+	if c.statsOK && gen == c.statsAt {
+		return cloneStats(c.stats)
+	}
+	st := c.mergedStats()
+	c.stats = st
+	c.statsAt = gen
+	c.statsOK = true
+	return cloneStats(st)
+}
+
+// cloneStats returns a copy whose Replicas slice does not alias the cache.
+func cloneStats(st core.Stats) core.Stats {
+	st.Replicas = append([]core.Stats(nil), st.Replicas...)
+	return st
+}
+
+// mergedStats recomputes the fleet snapshot from the replicas.
+func (c *Cluster) mergedStats() core.Stats {
+	c.fleetMu.RLock()
+	defer c.fleetMu.RUnlock()
 	merged := core.Stats{
-		Syncs:       0,
 		VirtualTime: c.fleetClock(),
 	}
 	syncs, bytes, seconds := c.sync.Stats()
@@ -217,23 +377,32 @@ func (c *Cluster) Stats() core.Stats {
 		merged.FullSyncs += rs.FullSyncs
 		merged.LoRAHotRows += rs.LoRAHotRows
 		latencySum += rs.MeanLatency * float64(rs.Served)
-		hitInf += rs.InferenceHitRatio
-		hitTrain += rs.TrainingHitRatio
-		lat = append(lat, r.Node.LatencySamples()...)
+		// Weight cache hit ratios by requests served, like MeanLatency: an
+		// unweighted mean would let a nearly idle replica's ratio swamp the
+		// workload-level truth under skewed routing.
+		hitInf += rs.InferenceHitRatio * float64(rs.Served)
+		hitTrain += rs.TrainingHitRatio * float64(rs.Served)
+		lat = append(lat, r.LatencyWindow()...)
 		merged.Replicas = append(merged.Replicas, rs)
 	}
-	n := float64(len(c.replicas))
-	merged.P50 = metrics.Quantile(lat, 0.50)
-	merged.P99 = metrics.Quantile(lat, 0.99)
-	merged.InferenceHitRatio = hitInf / n
-	merged.TrainingHitRatio = hitTrain / n
+	if len(lat) == 0 {
+		// Documented sentinel: no retained samples means the quantiles are
+		// undefined, not zero.
+		merged.P50 = math.NaN()
+		merged.P99 = math.NaN()
+	} else {
+		merged.P50 = metrics.Quantile(lat, 0.50)
+		merged.P99 = metrics.Quantile(lat, 0.99)
+	}
 	if merged.Served > 0 {
 		merged.ViolationRate = float64(merged.Violations) / float64(merged.Served)
 		merged.MeanLatency = latencySum / float64(merged.Served)
+		merged.InferenceHitRatio = hitInf / float64(merged.Served)
+		merged.TrainingHitRatio = hitTrain / float64(merged.Served)
 	}
 	// Adapter footprint and rank are identical across replicas by
 	// construction; report one replica's view, not the sum.
 	merged.MemoryOverhead = c.replicas[0].MemoryOverhead()
-	merged.LoRARank = c.replicas[0].LoRA.Adapters[0].Rank()
+	merged.LoRARank = c.replicas[0].LoRARank()
 	return merged
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -170,6 +171,70 @@ func TestPeriodicSyncTriggers(t *testing.T) {
 	}
 	if st.SyncBytes == 0 || st.SyncSeconds <= 0 {
 		t.Fatalf("sync accounting missing: %+v", st)
+	}
+}
+
+// TestStatsEmptyWindowSentinel is the regression test for the silent
+// "P99Latency: 0" bug: an idle fleet has no retained latency samples, so its
+// quantiles are undefined and must surface as the documented NaN sentinel —
+// not as a zero that reads like a perfect latency.
+func TestStatsEmptyWindowSentinel(t *testing.T) {
+	c, err := New(testConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Served != 0 {
+		t.Fatalf("idle fleet served %d", st.Served)
+	}
+	if !math.IsNaN(st.P99) || !math.IsNaN(st.P50) {
+		t.Fatalf("idle fleet must report NaN quantiles, got P50=%v P99=%v", st.P50, st.P99)
+	}
+	if _, err := c.Serve(trace.MustNewGenerator(testProfile(t), 1).Next()); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if math.IsNaN(st.P99) || st.P99 <= 0 {
+		t.Fatalf("after serving, P99 must be a real latency, got %v", st.P99)
+	}
+}
+
+// TestStatsCachedBetweenChanges verifies that Stats is memoized until the
+// next state change instead of re-merging the fleet on every call.
+func TestStatsCachedBetweenChanges(t *testing.T) {
+	c, err := New(testConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 21)
+	for i := 0; i < 50; i++ {
+		if _, err := c.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := c.Stats(), c.Stats()
+	if a.Served != b.Served || a.P99 != b.P99 || a.VirtualTime != b.VirtualTime {
+		t.Fatalf("idempotent Stats calls differ: %+v vs %+v", a, b)
+	}
+	// Mutating the cached copy's breakdown must not leak into the cache.
+	if len(a.Replicas) > 0 {
+		a.Replicas[0].Served = 1 << 40
+		if got := c.Stats().Replicas[0].Served; got == 1<<40 {
+			t.Fatal("Stats cache aliases the returned Replicas slice")
+		}
+	}
+	if _, err := c.Serve(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Served != a.Served+1 {
+		t.Fatalf("cache not invalidated by Serve: served %d, want %d", after.Served, a.Served+1)
+	}
+	if _, err := c.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Syncs; got != after.Syncs+1 {
+		t.Fatalf("cache not invalidated by SyncNow: syncs %d, want %d", got, after.Syncs+1)
 	}
 }
 

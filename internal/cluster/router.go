@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"liveupdate/internal/core"
 	"liveupdate/internal/trace"
@@ -9,7 +10,11 @@ import (
 
 // Router picks the replica that serves a request. Implementations may keep
 // state (e.g. a round-robin cursor); a Router instance belongs to exactly one
-// Cluster.
+// Cluster. Route must be safe for concurrent callers — the built-in policies
+// are lock-free — though stateful policies only produce a deterministic
+// assignment when requests are routed in a deterministic order (the
+// load-driver routes from a single sequencer goroutine for exactly this
+// reason).
 type Router interface {
 	// Route returns the index in fleet of the replica to serve s.
 	Route(s trace.Sample, fleet []*core.System) int
@@ -50,12 +55,10 @@ func NewRouter(p Policy) (Router, error) {
 	}
 }
 
-type roundRobinRouter struct{ next int }
+type roundRobinRouter struct{ next atomic.Uint64 }
 
 func (r *roundRobinRouter) Route(_ trace.Sample, fleet []*core.System) int {
-	i := r.next % len(fleet)
-	r.next = (r.next + 1) % len(fleet)
-	return i
+	return int((r.next.Add(1) - 1) % uint64(len(fleet)))
 }
 
 func (r *roundRobinRouter) Name() string { return string(RoundRobin) }

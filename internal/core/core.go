@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"liveupdate/internal/dlrm"
 	"liveupdate/internal/emt"
@@ -82,6 +83,13 @@ func (o Options) Validate() error {
 
 // System is one LiveUpdate inference node: it serves requests and refreshes
 // its own embeddings from cached interactions, with performance isolation.
+//
+// A System is safe for concurrent use: Serve, Stats, TrainTick, and FullSync
+// serialize on an internal per-node mutex, so a fleet can serve independent
+// replicas from independent goroutines while any one replica processes one
+// request at a time (the single-server model the virtual clock assumes).
+// The exported fields are wiring for experiments and tests; touching them
+// while another goroutine is inside Serve is not synchronized.
 type System struct {
 	Opts Options
 
@@ -93,6 +101,7 @@ type System struct {
 	LoRA       *lora.Set
 	Node       *serving.Node
 
+	mu         sync.Mutex // guards all mutable state below and inside Node/Machine/LoRA
 	trainRNG   *tensor.RNG
 	sinceTrain int
 	trainSteps uint64
@@ -168,9 +177,15 @@ type Response struct {
 // Cluster the top-level fields are the merged fleet view and Replicas holds
 // the per-replica breakdown.
 type Stats struct {
-	Served        uint64  // requests processed
-	P50           float64 // median latency over the tracker window, seconds
-	P99           float64 // 99th-percentile latency over the tracker window, seconds
+	Served uint64 // requests processed
+
+	// P50/P99 are latency quantiles over the tracker window, in seconds.
+	// A Cluster with no retained samples (nothing served yet) reports NaN —
+	// the documented "quantile undefined" sentinel; check math.IsNaN, not
+	// == 0, which is a legitimate latency floor. A single System reports 0
+	// before its first request (the tracker's empty-window value).
+	P50           float64
+	P99           float64
 	MeanLatency   float64 // mean latency over all observed requests, seconds
 	SLA           float64 // configured P99 target, seconds
 	Violations    uint64  // requests above the SLA
@@ -202,12 +217,14 @@ func (s *System) Serve(sample trace.Sample) (Response, error) {
 		return Response{}, fmt.Errorf("core: sample has %d sparse fields, profile %q expects %d",
 			len(sample.Sparse), s.Opts.Profile.Name, s.Opts.Profile.NumTables)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	prob, latency := s.Node.Serve(sample)
 	if s.Opts.EnableTraining {
 		s.sinceTrain++
 		if s.sinceTrain >= s.Opts.TrainInterval {
 			s.sinceTrain = 0
-			s.TrainTick()
+			s.trainTick()
 			if s.Controller != nil {
 				s.Controller.Observe(s.Node.P99())
 			}
@@ -218,6 +235,8 @@ func (s *System) Serve(sample trace.Sample) (Response, error) {
 
 // Stats snapshots the node's serving, training, and memory statistics.
 func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	hot := 0
 	for _, a := range s.LoRA.Adapters {
 		hot += a.ActiveCount()
@@ -232,7 +251,7 @@ func (s *System) Stats() Stats {
 		ViolationRate:     s.Node.ViolationRate(),
 		TrainSteps:        s.trainSteps,
 		FullSyncs:         s.fullSyncs,
-		MemoryOverhead:    s.MemoryOverhead(),
+		MemoryOverhead:    s.LoRA.OverheadRatio(),
 		LoRAHotRows:       hot,
 		LoRARank:          s.LoRA.Adapters[0].Rank(),
 		InferenceHitRatio: s.Machine.HitRatio(numasim.Inference),
@@ -241,11 +260,44 @@ func (s *System) Stats() Stats {
 	}
 }
 
+// Lock acquires the node's serve mutex; Unlock releases it. They exist so
+// fleet-level operations (the Cluster's priority-merge sync, consistency
+// probes) can freeze a replica while touching its adapter state directly,
+// keeping the concurrency contract intact even for callers that drive a
+// replica obtained via Cluster.Replica. Application code should not need
+// them.
+func (s *System) Lock() { s.mu.Lock() }
+
+// Unlock releases the mutex acquired by Lock.
+func (s *System) Unlock() { s.mu.Unlock() }
+
+// LatencyWindow returns a copy of the node's retained latency samples — the
+// raw material for fleet-wide quantile merging — under the node lock.
+func (s *System) LatencyWindow() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Node.LatencySamples()
+}
+
+// LoRARank returns the node's current adapter rank (table 0).
+func (s *System) LoRARank() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.LoRA.Adapters[0].Rank()
+}
+
 // TrainTick runs one co-located training step: a mini-batch sampled from the
 // inference ring buffer, every embedding access charged to the machine model
 // (through the reuse path when enabled), and one LoRA SGD step per sample.
 // Dense layers stay frozen (paper Fig 7: only A and B receive gradients).
 func (s *System) TrainTick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trainTick()
+}
+
+// trainTick is TrainTick's body; callers must hold s.mu.
+func (s *System) trainTick() {
 	batch := s.Node.Ring.Sample(s.trainRNG, s.Opts.TrainBatch)
 	if batch == nil {
 		return
@@ -289,11 +341,17 @@ func (s *System) TrainTick() {
 }
 
 // TrainSteps returns the number of co-located training ticks executed.
-func (s *System) TrainSteps() uint64 { return s.trainSteps }
+func (s *System) TrainSteps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trainSteps
+}
 
 // FullSync installs fresh base weights and dense parameters from a training
 // cluster (the hourly mid-term tier of Fig 8) and resets the adapters.
 func (s *System) FullSync(freshBase *emt.Group, freshModel *dlrm.Model) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Base.CopyWeightsFrom(freshBase)
 	s.Model.CopyWeightsFrom(freshModel)
 	s.LoRA.ResetAdapters()
@@ -301,14 +359,24 @@ func (s *System) FullSync(freshBase *emt.Group, freshModel *dlrm.Model) {
 }
 
 // FullSyncs returns the number of full-parameter syncs performed.
-func (s *System) FullSyncs() uint64 { return s.fullSyncs }
+func (s *System) FullSyncs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fullSyncs
+}
 
 // MemoryOverhead returns LoRA bytes / base EMT bytes (the paper's <2% claim).
-func (s *System) MemoryOverhead() float64 { return s.LoRA.OverheadRatio() }
+func (s *System) MemoryOverhead() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.LoRA.OverheadRatio()
+}
 
 // Power returns the modeled node power draw given the inference duty cycle
 // in [0,1]; the training load is 1 when the co-located trainer is enabled.
 func (s *System) Power(infLoad float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	trainLoad := 0.0
 	if s.Opts.EnableTraining {
 		trainLoad = 1
@@ -319,6 +387,8 @@ func (s *System) Power(infLoad float64) float64 {
 // CPUUtilization models node CPU utilization: the inference share plus the
 // training share of CCDs that are actually busy.
 func (s *System) CPUUtilization(infLoad float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := float64(s.Opts.Machine.NumCCDs)
 	infCCDs := n
 	trainCCDs := 0.0

@@ -1,0 +1,313 @@
+// Package driver pumps a request trace through a Server from N client
+// goroutines — the load-generation layer that turns the thread-safe serving
+// stack into measured parallel throughput.
+//
+// # Determinism
+//
+// The driver is built so that every virtual-time result is identical no
+// matter how many workers drive the load:
+//
+//   - One sequencer goroutine draws samples from the workload in trace
+//     order, so the generated stream never depends on worker count.
+//   - Each sample is routed to its shard (a Cluster replica) at sequencing
+//     time, through the server's own deterministic routing, and delivered
+//     over a FIFO queue owned by exactly one worker (shard % workers). A
+//     shard's requests are therefore served in trace order regardless of how
+//     workers interleave in wall-clock time.
+//   - Each worker owns a private RNG stream seeded from (Seed, worker id)
+//     for its latency reservoir, so per-worker reports are reproducible
+//     run-to-run at a fixed seed and concurrency.
+//
+// Wall-clock fields of the Report (Elapsed, QPS, per-worker Busy) are real
+// measured time and naturally vary between runs; everything derived from the
+// virtual clock does not.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/metrics"
+	"liveupdate/internal/tensor"
+	"liveupdate/internal/trace"
+)
+
+// Server is the minimal serving surface the driver needs; it is structurally
+// identical to the public liveupdate.Server interface (internal packages
+// cannot import the root package).
+type Server interface {
+	Serve(trace.Sample) (core.Response, error)
+	Stats() core.Stats
+}
+
+// ShardedServer is implemented by servers whose state is partitioned into
+// independently-serving shards — a Cluster's replicas. The driver uses it to
+// route each sample once, deterministically, at sequencing time, and to
+// serve different shards from different workers in parallel. Servers that do
+// not implement it (a single System) are driven through one FIFO lane.
+type ShardedServer interface {
+	Server
+	// NumShards returns the number of independent shards (≥ 1).
+	NumShards() int
+	// ShardOf routes one sample to a shard. Called from the sequencer
+	// goroutine only, in trace order.
+	ShardOf(trace.Sample) int
+	// ServeShard serves a pre-routed sample on its shard.
+	ServeShard(int, trace.Sample) (core.Response, error)
+}
+
+// Config configures a drive.
+type Config struct {
+	// Requests is the number of samples to pump (required, > 0).
+	Requests int
+
+	// Workers is the number of client goroutines. Zero or negative defaults
+	// to GOMAXPROCS. Parallelism is additionally bounded by the server's
+	// shard count: with W workers and S shards, min(W, S) workers carry
+	// load and the rest idle (and say so in their WorkerStats).
+	Workers int
+
+	// QueueDepth bounds each worker's request queue; the sequencer blocks
+	// when a queue is full (closed-loop back-pressure). Zero defaults to 128.
+	QueueDepth int
+
+	// Seed seeds the per-worker RNG streams used for latency reservoir
+	// sampling. The workload itself carries its own seed.
+	Seed uint64
+
+	// ProgressEvery, when > 0 with OnProgress set, invokes OnProgress after
+	// every ProgressEvery served requests (calls are serialized).
+	ProgressEvery int
+	OnProgress    func(served uint64)
+}
+
+// reservoirCap bounds per-worker latency reservoirs (algorithm R).
+const reservoirCap = 1024
+
+// WorkerStats is one worker's share of a drive.
+type WorkerStats struct {
+	Worker      int           // worker index
+	Shards      []int         // shards this worker owned (empty = idle)
+	Served      uint64        // requests this worker served
+	Busy        time.Duration // wall-clock time spent inside Serve
+	MeanLatency float64       // mean virtual latency of this worker's requests, seconds
+	P99Latency  float64       // reservoir-estimated virtual P99, seconds (NaN if idle)
+}
+
+// Report summarizes a drive. Virtual-time fields are deterministic for a
+// fixed workload seed (and, for per-worker fields, fixed driver seed and
+// concurrency); wall-clock fields are measured.
+type Report struct {
+	Requests int    // requests asked for
+	Served   uint64 // requests actually served (== Requests unless cancelled)
+	Workers  int    // client goroutines
+	Shards   int    // server shards driven
+
+	Elapsed time.Duration // wall-clock drive duration
+	QPS     float64       // Served / Elapsed (wall-clock throughput)
+
+	VirtualTime float64 // server's virtual clock after the drive, seconds
+	VirtualQPS  float64 // Served / VirtualTime (simulated throughput)
+
+	Cancelled bool // context cancelled before all requests were served
+
+	PerWorker []WorkerStats // per-worker breakdown, in worker order
+	Final     core.Stats    // server stats snapshot taken after the drive
+}
+
+// item is one routed request in flight from the sequencer to a worker.
+type item struct {
+	shard  int
+	sample trace.Sample
+}
+
+// Drive pumps cfg.Requests samples from next through srv. It returns a
+// non-nil error only for configuration errors or a Serve error (which
+// aborts the drive); context cancellation is reported via Report.Cancelled
+// with a nil error, leaving the partial report usable.
+func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config) (Report, error) {
+	if srv == nil {
+		return Report{}, fmt.Errorf("driver: nil server")
+	}
+	if next == nil {
+		return Report{}, fmt.Errorf("driver: nil workload")
+	}
+	if cfg.Requests <= 0 {
+		return Report{}, fmt.Errorf("driver: Requests must be positive, got %d", cfg.Requests)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 128
+	}
+
+	shards := 1
+	sharded, isSharded := srv.(ShardedServer)
+	if isSharded {
+		shards = sharded.NumShards()
+		if shards < 1 {
+			return Report{}, fmt.Errorf("driver: server reports %d shards", shards)
+		}
+	}
+
+	// ctx drives external cancellation; abort stops the drive on the first
+	// serve error without overloading the caller's context.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		driveErr error
+	)
+	abort := func(err error) {
+		errOnce.Do(func() { driveErr = err })
+		cancel()
+	}
+
+	queues := make([]chan item, workers)
+	for w := range queues {
+		queues[w] = make(chan item, depth)
+	}
+	ownerOf := func(shard int) int { return shard % workers }
+	ownedShards := make([][]int, workers)
+	for s := 0; s < shards; s++ {
+		w := ownerOf(s)
+		ownedShards[w] = append(ownedShards[w], s)
+	}
+
+	var progress metrics.Counter
+	var progressMu sync.Mutex
+	perWorker := make([]WorkerStats, workers)
+
+	start := time.Now()
+
+	// Sequencer: the only goroutine that touches the workload and the
+	// router, so sample generation and shard assignment are one
+	// deterministic sequence. FIFO channels with static shard→worker
+	// ownership then preserve per-shard order end to end.
+	var seqWG sync.WaitGroup
+	seqWG.Add(1)
+	go func() {
+		defer seqWG.Done()
+		defer func() {
+			for _, q := range queues {
+				close(q)
+			}
+		}()
+		for i := 0; i < cfg.Requests; i++ {
+			s := next()
+			shard := 0
+			if isSharded {
+				shard = sharded.ShardOf(s)
+				if shard < 0 || shard >= shards {
+					abort(fmt.Errorf("driver: ShardOf routed request %d to shard %d of %d", i, shard, shards))
+					return
+				}
+			}
+			select {
+			case queues[ownerOf(shard)] <- item{shard: shard, sample: s}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var workWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workWG.Add(1)
+		go func(w int) {
+			defer workWG.Done()
+			rng := tensor.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
+			reservoir := make([]float64, 0, reservoirCap)
+			var seen uint64
+			var latSum float64
+			var busy time.Duration
+			q := queues[w]
+		loop:
+			for {
+				select {
+				case it, ok := <-q:
+					if !ok {
+						break loop // sequencer done, queue drained
+					}
+					t0 := time.Now()
+					var resp core.Response
+					var err error
+					if isSharded {
+						resp, err = sharded.ServeShard(it.shard, it.sample)
+					} else {
+						resp, err = srv.Serve(it.sample)
+					}
+					busy += time.Since(t0)
+					if err != nil {
+						abort(fmt.Errorf("driver: worker %d shard %d: %w", w, it.shard, err))
+						break loop
+					}
+					seen++
+					latSum += resp.Latency
+					// Algorithm R reservoir on the worker's private stream.
+					if len(reservoir) < reservoirCap {
+						reservoir = append(reservoir, resp.Latency)
+					} else if j := rng.Intn(int(seen)); j < reservoirCap {
+						reservoir[j] = resp.Latency
+					}
+					if cfg.OnProgress != nil && cfg.ProgressEvery > 0 {
+						if n := progress.Inc(); n%uint64(cfg.ProgressEvery) == 0 {
+							progressMu.Lock()
+							cfg.OnProgress(n)
+							progressMu.Unlock()
+						}
+					}
+				case <-ctx.Done():
+					break loop
+				}
+			}
+			ws := WorkerStats{Worker: w, Shards: ownedShards[w], Served: seen, Busy: busy}
+			ws.P99Latency = math.NaN() // idle: quantile undefined, mirror Cluster.Stats
+			if seen > 0 {
+				ws.MeanLatency = latSum / float64(seen)
+				ws.P99Latency = metrics.Quantile(reservoir, 0.99)
+			}
+			perWorker[w] = ws
+		}(w)
+	}
+
+	workWG.Wait()
+	seqWG.Wait()
+	elapsed := time.Since(start)
+
+	var servedTotal uint64
+	for _, ws := range perWorker {
+		servedTotal += ws.Served
+	}
+	rep := Report{
+		Requests: cfg.Requests,
+		Served:   servedTotal,
+		Workers:  workers,
+		Shards:   shards,
+		Elapsed:  elapsed,
+		// A drive that finished all its requests is complete, even if the
+		// context happened to expire in the same instant.
+		Cancelled: driveErr == nil && ctx.Err() != nil && servedTotal < uint64(cfg.Requests),
+		PerWorker: perWorker,
+		Final:     srv.Stats(),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Served) / elapsed.Seconds()
+	}
+	rep.VirtualTime = rep.Final.VirtualTime
+	if rep.VirtualTime > 0 {
+		rep.VirtualQPS = float64(rep.Served) / rep.VirtualTime
+	}
+	return rep, driveErr
+}

@@ -1,0 +1,321 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"liveupdate/internal/cluster"
+	"liveupdate/internal/core"
+	"liveupdate/internal/trace"
+)
+
+func testProfile(t testing.TB) trace.Profile {
+	t.Helper()
+	p, err := trace.ProfileByName("criteo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NumTables = 3
+	p.TableSize = 300
+	p.NumDense = 4
+	p.MultiHot = []int{1, 1, 1}
+	return p
+}
+
+func testCluster(t testing.TB, replicas int, policy cluster.Policy) *cluster.Cluster {
+	t.Helper()
+	opts := core.DefaultOptions(testProfile(t), 42)
+	opts.TrainInterval = 4
+	r, err := cluster.NewRouter(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{
+		Base:      opts,
+		Replicas:  replicas,
+		Router:    r,
+		SyncEvery: 2e9, // 2 virtual seconds; several epochs per drive
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// keyStats projects the worker-count-invariant virtual-time fields.
+type keyStats struct {
+	served, violations, trainSteps uint64
+	syncs                          int
+	virtualTime, p50, p99          float64
+	perReplica                     []core.Stats
+}
+
+func keyOf(st core.Stats) keyStats {
+	k := keyStats{
+		served:      st.Served,
+		violations:  st.Violations,
+		trainSteps:  st.TrainSteps,
+		syncs:       st.Syncs,
+		virtualTime: st.VirtualTime,
+		p50:         st.P50,
+		p99:         st.P99,
+	}
+	for _, rs := range st.Replicas {
+		rs.Replicas = nil
+		k.perReplica = append(k.perReplica, rs)
+	}
+	return k
+}
+
+// TestDriveWorkerCountInvariance is the tentpole's determinism property:
+// every virtual-time statistic — including per-replica clocks, violation
+// counts, and the periodic sync count — is identical whether one goroutine
+// or eight drive the fleet.
+func TestDriveWorkerCountInvariance(t *testing.T) {
+	const requests = 3000
+	for _, policy := range []cluster.Policy{cluster.RoundRobin, cluster.Hash} {
+		var want keyStats
+		for i, workers := range []int{1, 8} {
+			c := testCluster(t, 4, policy)
+			gen := trace.MustNewGenerator(testProfile(t), 7)
+			rep, err := Drive(context.Background(), c, gen.Next, Config{
+				Requests: requests, Workers: workers, Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", policy, workers, err)
+			}
+			if rep.Served != requests {
+				t.Fatalf("%s workers=%d: served %d of %d", policy, workers, rep.Served, requests)
+			}
+			got := keyOf(rep.Final)
+			if got.syncs == 0 {
+				t.Fatalf("%s workers=%d: no periodic syncs fired (virtual time %.3fs)",
+					policy, workers, got.virtualTime)
+			}
+			if i == 0 {
+				want = got
+				continue
+			}
+			if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+				t.Fatalf("%s: virtual-time stats differ between 1 and 8 workers:\n  1: %+v\n  8: %+v",
+					policy, want, got)
+			}
+		}
+	}
+}
+
+// TestDriveDeterministicAtFixedSeed re-runs the same drive (same seed, same
+// concurrency) and requires the full report — per-worker breakdown included
+// — to match, modulo wall-clock fields.
+func TestDriveDeterministicAtFixedSeed(t *testing.T) {
+	run := func() Report {
+		c := testCluster(t, 4, cluster.Hash)
+		gen := trace.MustNewGenerator(testProfile(t), 11)
+		rep, err := Drive(context.Background(), c, gen.Next, Config{
+			Requests: 2000, Workers: 4, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if keyA, keyB := fmt.Sprintf("%+v", keyOf(a.Final)), fmt.Sprintf("%+v", keyOf(b.Final)); keyA != keyB {
+		t.Fatalf("virtual-time stats differ across identical runs:\n  %s\n  %s", keyA, keyB)
+	}
+	if len(a.PerWorker) != len(b.PerWorker) {
+		t.Fatalf("worker counts differ: %d vs %d", len(a.PerWorker), len(b.PerWorker))
+	}
+	for w := range a.PerWorker {
+		wa, wb := a.PerWorker[w], b.PerWorker[w]
+		if wa.Served != wb.Served || wa.MeanLatency != wb.MeanLatency ||
+			(wa.P99Latency != wb.P99Latency && !(math.IsNaN(wa.P99Latency) && math.IsNaN(wb.P99Latency))) {
+			t.Fatalf("worker %d reports differ: %+v vs %+v", w, wa, wb)
+		}
+	}
+}
+
+// TestDriveSingleSystem drives a non-sharded Server: all load flows through
+// one FIFO lane, extra workers idle, and the result matches a plain serve
+// loop exactly.
+func TestDriveSingleSystem(t *testing.T) {
+	opts := core.DefaultOptions(testProfile(t), 42)
+	opts.TrainInterval = 4
+
+	seq, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 3)
+	for i := 0; i < 500; i++ {
+		if _, err := seq.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drv, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen = trace.MustNewGenerator(testProfile(t), 3)
+	rep, err := Drive(context.Background(), drv, gen.Next, Config{Requests: 500, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 1 {
+		t.Fatalf("System must drive as 1 shard, got %d", rep.Shards)
+	}
+	a, b := seq.Stats(), rep.Final
+	if a.Served != b.Served || a.Violations != b.Violations ||
+		a.TrainSteps != b.TrainSteps || a.VirtualTime != b.VirtualTime || a.P99 != b.P99 {
+		t.Fatalf("driven System diverged from serve loop:\n  loop:  %+v\n  drive: %+v", a, b)
+	}
+	idle := 0
+	for _, ws := range rep.PerWorker {
+		if ws.Served == 0 {
+			idle++
+			if !math.IsNaN(ws.P99Latency) {
+				t.Fatalf("idle worker %d must report NaN P99, got %v", ws.Worker, ws.P99Latency)
+			}
+		}
+	}
+	if idle != 3 {
+		t.Fatalf("expected 3 idle workers over 1 shard, got %d idle", idle)
+	}
+}
+
+// TestDriveCancellation cancels mid-drive and expects a prompt partial
+// report with Cancelled set and no error.
+func TestDriveCancellation(t *testing.T) {
+	c := testCluster(t, 4, cluster.RoundRobin)
+	gen := trace.MustNewGenerator(testProfile(t), 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const requests = 50000
+	rep, err := Drive(ctx, c, gen.Next, Config{
+		Requests: requests, Workers: 8,
+		ProgressEvery: 100,
+		OnProgress: func(served uint64) {
+			if served >= 500 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cancelled {
+		t.Fatal("report must be marked Cancelled")
+	}
+	if rep.Served < 500 || rep.Served >= requests {
+		t.Fatalf("partial drive expected, served %d of %d", rep.Served, requests)
+	}
+	if st := c.Stats(); st.Served != rep.Served {
+		t.Fatalf("server saw %d requests, report says %d", st.Served, rep.Served)
+	}
+}
+
+// errServer fails after a fixed number of requests.
+type errServer struct {
+	sys   *core.System
+	limit uint64
+	n     atomic.Uint64
+}
+
+func (e *errServer) Serve(s trace.Sample) (core.Response, error) {
+	if e.n.Add(1) > e.limit {
+		return core.Response{}, fmt.Errorf("synthetic failure")
+	}
+	return e.sys.Serve(s)
+}
+
+func (e *errServer) Stats() core.Stats { return e.sys.Stats() }
+
+func TestDriveServeErrorAborts(t *testing.T) {
+	sys, err := core.New(core.DefaultOptions(testProfile(t), 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 13)
+	rep, err := Drive(context.Background(), &errServer{sys: sys, limit: 100}, gen.Next,
+		Config{Requests: 10000, Workers: 2})
+	if err == nil {
+		t.Fatal("serve error must abort the drive with an error")
+	}
+	if rep.Served >= 10000 {
+		t.Fatalf("drive must stop early, served %d", rep.Served)
+	}
+	if rep.Cancelled {
+		t.Fatal("an aborted drive is an error, not a cancellation")
+	}
+}
+
+func TestDriveConfigValidation(t *testing.T) {
+	c := testCluster(t, 2, cluster.RoundRobin)
+	gen := trace.MustNewGenerator(testProfile(t), 1)
+	if _, err := Drive(context.Background(), c, gen.Next, Config{Requests: 0}); err == nil {
+		t.Fatal("Requests=0 must be rejected")
+	}
+	if _, err := Drive(context.Background(), nil, gen.Next, Config{Requests: 1}); err == nil {
+		t.Fatal("nil server must be rejected")
+	}
+	if _, err := Drive(context.Background(), c, nil, Config{Requests: 1}); err == nil {
+		t.Fatal("nil workload must be rejected")
+	}
+}
+
+// TestDriveHammersClusterRace drives one Cluster from 8 goroutines calling
+// Serve directly — no driver sequencing — while a reader polls merged Stats.
+// It asserts nothing about determinism (direct concurrent Serve races for
+// arrival order by design); under -race it proves the locking story: serve
+// vs serve, serve vs periodic sync, serve vs Stats.
+func TestDriveHammersClusterRace(t *testing.T) {
+	c := testCluster(t, 4, cluster.Hash)
+	const (
+		goroutines = 8
+		perG       = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen := trace.MustNewGenerator(testProfile(t), uint64(100+g))
+			for i := 0; i < perG; i++ {
+				if _, err := c.Serve(gen.Next()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent merged-stats readers while the hammer runs, plus a direct
+	// replica reader: Cluster.Replica(i) hands out the System itself, and
+	// its methods must stay race-free against periodic syncs mutating the
+	// replica's adapters under the fleet barrier.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = c.Stats()
+				_ = c.Replica(r).Stats()
+				_ = c.Replica(r).MemoryOverhead()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Served != goroutines*perG {
+		t.Fatalf("served %d, want %d", st.Served, goroutines*perG)
+	}
+	if _, err := c.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ReplicasConsistent(20) {
+		t.Fatal("replicas inconsistent after final sync")
+	}
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value must start at 0")
+	}
+	if got := c.Inc(); got != 1 {
+		t.Fatalf("Inc = %d, want 1", got)
+	}
+	if got := c.Add(9); got != 10 {
+		t.Fatalf("Add = %d, want 10", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("Reset must zero the counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const workers, per = 8, 10000
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load = %d, want %d", got, workers*per)
+	}
+}
+
+func TestShardedCounterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardedCounter(0) must panic")
+		}
+	}()
+	NewShardedCounter(0)
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	const workers, per = 8, 10000
+	c := NewShardedCounter(workers)
+	if c.Shards() != workers {
+		t.Fatalf("Shards = %d, want %d", c.Shards(), workers)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load = %d, want %d", got, workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		if got := c.ShardLoad(w); got != per {
+			t.Fatalf("shard %d = %d, want %d", w, got, per)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package serving
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"liveupdate/internal/dlrm"
 	"liveupdate/internal/metrics"
@@ -127,8 +128,11 @@ type Node struct {
 	Ring    *RingBuffer
 	Lat     *metrics.LatencyTracker
 
-	served     uint64
-	violations uint64
+	// served and violations are atomic so fleet-level code (merged stats,
+	// progress reporting) can read them without taking the owning replica's
+	// serve lock. All other Node state is guarded by the owner (core.System).
+	served     atomic.Uint64
+	violations atomic.Uint64
 }
 
 // NewNode assembles a serving node.
@@ -174,9 +178,9 @@ func (n *Node) Serve(s trace.Sample) (prob, latency float64) {
 	latency = memTime + n.Cfg.GPUDenseTime
 	n.Ring.Push(s)
 	n.Lat.Observe(latency)
-	n.served++
+	n.served.Add(1)
 	if latency > n.Cfg.SLA {
-		n.violations++
+		n.violations.Add(1)
 	}
 	n.Clock.Advance(latency)
 	return prob, latency
@@ -199,12 +203,12 @@ func (n *Node) ServeBatch(samples []trace.Sample) float64 {
 func (n *Node) P99() float64 { return n.Lat.P99() }
 
 // Served returns the number of requests processed.
-func (n *Node) Served() uint64 { return n.served }
+func (n *Node) Served() uint64 { return n.served.Load() }
 
 // Violations returns the number of requests that exceeded the SLA. Exposing
 // the raw count (not just the rate) lets a fleet merge per-replica violation
 // statistics exactly.
-func (n *Node) Violations() uint64 { return n.violations }
+func (n *Node) Violations() uint64 { return n.violations.Load() }
 
 // LatencySamples returns a copy of the tracker's retained latency window, the
 // raw material for cross-replica quantile merging.
@@ -212,16 +216,17 @@ func (n *Node) LatencySamples() []float64 { return n.Lat.Samples() }
 
 // ViolationRate returns the fraction of requests exceeding the SLA.
 func (n *Node) ViolationRate() float64 {
-	if n.served == 0 {
+	served := n.served.Load()
+	if served == 0 {
 		return 0
 	}
-	return float64(n.violations) / float64(n.served)
+	return float64(n.violations.Load()) / float64(served)
 }
 
 // ResetLatencyStats clears the latency tracker and violation counters
 // (e.g. between experiment phases).
 func (n *Node) ResetLatencyStats() {
 	n.Lat.Reset()
-	n.served = 0
-	n.violations = 0
+	n.served.Store(0)
+	n.violations.Store(0)
 }

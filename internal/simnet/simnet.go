@@ -8,6 +8,7 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Common bandwidth constants (bytes per second).
@@ -17,16 +18,21 @@ const (
 	GBps    = 1e9
 )
 
-// Clock is a virtual timeline measured in seconds.
+// Clock is a virtual timeline measured in seconds. Reads and writes are
+// lock-free and safe for concurrent use: a replica advances its own clock
+// while fleet-level code (routing, sync triggering, merged stats) reads it
+// from other goroutines. The value is stored as IEEE-754 bits in an atomic
+// word; Advance and AdvanceTo are CAS loops, so concurrent advances compose
+// without lost updates.
 type Clock struct {
-	now float64
+	bits atomic.Uint64 // Float64bits of the current time
 }
 
 // NewClock returns a clock at t = 0.
 func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current virtual time in seconds.
-func (c *Clock) Now() float64 { return c.now }
+func (c *Clock) Now() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // Advance moves time forward by dt seconds. Negative dt panics: simulated
 // time is monotone.
@@ -34,13 +40,25 @@ func (c *Clock) Advance(dt float64) {
 	if dt < 0 {
 		panic(fmt.Sprintf("simnet: clock cannot go backwards (dt=%v)", dt))
 	}
-	c.now += dt
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + dt)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // AdvanceTo moves time forward to t if t is in the future; no-op otherwise.
 func (c *Clock) AdvanceTo(t float64) {
-	if t > c.now {
-		c.now = t
+	for {
+		old := c.bits.Load()
+		if t <= math.Float64frombits(old) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(t)) {
+			return
+		}
 	}
 }
 

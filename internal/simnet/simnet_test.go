@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -221,5 +222,52 @@ func TestPropertyLinkSerialization(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestClockConcurrent exercises the lock-free clock: concurrent Advance
+// calls must never lose an update (the fleet reads replica clocks while
+// their owners advance them), and AdvanceTo must stay monotone under racing
+// maximum writes.
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Advance(0.001)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	go func() { // concurrent reader: time must never appear to move backwards
+		last := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if now := c.Now(); now < last {
+					t.Errorf("clock went backwards: %v after %v", now, last)
+					return
+				} else {
+					last = now
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	want := float64(writers*per) * 0.001
+	if got := c.Now(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("lost updates: clock at %v, want %v", got, want)
+	}
+	c.AdvanceTo(5)
+	c.AdvanceTo(4) // no-op: already past
+	if c.Now() < 5 {
+		t.Fatalf("AdvanceTo regressed the clock to %v", c.Now())
 	}
 }

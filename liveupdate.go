@@ -44,11 +44,13 @@
 package liveupdate
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"liveupdate/internal/cluster"
 	"liveupdate/internal/core"
+	"liveupdate/internal/driver"
 	"liveupdate/internal/experiments"
 	"liveupdate/internal/numasim"
 	"liveupdate/internal/trace"
@@ -62,6 +64,12 @@ const Version = "2.0.0"
 // response out, plus a consistent statistics snapshot. Both the single-node
 // System and the multi-replica Cluster implement it, so serving loops,
 // benchmarks, and the CLI scale from one node to a fleet unchanged.
+//
+// Both implementations are safe for concurrent callers: a System serializes
+// requests on an internal lock, while a Cluster serves independent replicas
+// in parallel and only barriers the fleet for priority-merge syncs. Use
+// Drive to pump a workload through a Server from many goroutines with
+// deterministic virtual-time results.
 type Server interface {
 	// Serve scores one request (and, on a LiveUpdate node, interleaves the
 	// co-located training tick).
@@ -81,7 +89,9 @@ var (
 type Response = core.Response
 
 // Stats is a Server statistics snapshot. On a Cluster the top-level fields
-// are merged across the fleet and Replicas carries the per-replica view.
+// are merged across the fleet and Replicas carries the per-replica view;
+// an idle Cluster reports NaN for P50/P99 (quantiles of an empty window are
+// undefined — check math.IsNaN).
 type Stats = core.Stats
 
 // System is a single LiveUpdate inference node: serving plus co-located LoRA
@@ -317,6 +327,73 @@ func New(opts ...Option) (Server, error) {
 		Replicas:  c.replicas,
 		Router:    router,
 		SyncEvery: c.syncEvery,
+	})
+}
+
+// DriveConfig configures Drive, the concurrent load driver.
+type DriveConfig struct {
+	// Requests is the number of samples to pump through the Server
+	// (required, > 0).
+	Requests int
+
+	// Concurrency is the number of client goroutines. Zero or negative
+	// defaults to GOMAXPROCS. Effective parallelism is additionally bounded
+	// by the Server's shard count (a Cluster's replicas; 1 for a System).
+	Concurrency int
+
+	// QueueDepth bounds each worker's request queue (closed-loop
+	// back-pressure on the trace sequencer). Zero defaults to 128.
+	QueueDepth int
+
+	// Seed seeds the per-worker RNG streams behind the per-worker latency
+	// reservoirs, making the full Report reproducible at a fixed seed and
+	// concurrency. The workload carries its own seed.
+	Seed uint64
+
+	// ProgressEvery, with OnProgress set, invokes OnProgress after every
+	// ProgressEvery served requests. Calls are serialized; served is the
+	// drive-wide count at the time of the callback.
+	ProgressEvery int
+	OnProgress    func(served uint64)
+}
+
+// DriveReport is Drive's result: wall-clock throughput (QPS, Elapsed),
+// virtual-time stats (VirtualTime, VirtualQPS, the final Stats snapshot in
+// Final), and a per-worker breakdown. Virtual-time fields are deterministic
+// regardless of Concurrency; wall-clock fields are measured.
+type DriveReport = driver.Report
+
+// DriveWorkerStats is one worker's share of a drive.
+type DriveWorkerStats = driver.WorkerStats
+
+// Drive pumps cfg.Requests samples from workload through srv using
+// cfg.Concurrency client goroutines and returns a throughput report.
+//
+// A single sequencer draws the trace in order and routes each request to
+// its shard through the Server's own (deterministic) routing; per-shard FIFO
+// delivery then guarantees that every virtual-time statistic — Served,
+// Violations, per-replica clocks, sync counts — is identical no matter the
+// worker count, while wall-clock throughput scales with the replica fleet.
+// (Exception: the least-loaded router routes by live replica clocks, which
+// depend on wall-clock interleaving; use the round-robin or hash router
+// when bit-identical runs matter.)
+func Drive(srv Server, workload *Workload, cfg DriveConfig) (DriveReport, error) {
+	return DriveContext(context.Background(), srv, workload, cfg)
+}
+
+// DriveContext is Drive with cancellation: when ctx is cancelled mid-drive,
+// the partial report is returned with Cancelled set and a nil error.
+func DriveContext(ctx context.Context, srv Server, workload *Workload, cfg DriveConfig) (DriveReport, error) {
+	if workload == nil {
+		return DriveReport{}, fmt.Errorf("liveupdate: Drive requires a workload")
+	}
+	return driver.Drive(ctx, srv, workload.Next, driver.Config{
+		Requests:      cfg.Requests,
+		Workers:       cfg.Concurrency,
+		QueueDepth:    cfg.QueueDepth,
+		Seed:          cfg.Seed,
+		ProgressEvery: cfg.ProgressEvery,
+		OnProgress:    cfg.OnProgress,
 	})
 }
 
