@@ -139,6 +139,54 @@ func BenchmarkClusterServeParallel(b *testing.B) {
 	b.ReportMetric(rep.QPS, "req/s")
 }
 
+// benchSyncFleet builds a 4-replica hash-routed fleet with an aggressive
+// periodic sync cadence (every 100ms of virtual time → a sync every few
+// hundred requests) in the given propagation mode, so sync handling is a
+// measurable share of the drive.
+func benchSyncFleet(b *testing.B, mode SyncMode) (Server, *Workload) {
+	b.Helper()
+	p := benchServingProfile()
+	srv, err := New(
+		WithProfile(p),
+		WithSeed(1),
+		WithReplicas(4),
+		WithRouter(HashRouter),
+		WithSyncEvery(100*time.Millisecond),
+		WithSyncMode(mode),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, NewWorkload(p, 2)
+}
+
+func benchClusterSync(b *testing.B, mode SyncMode) {
+	srv, gen := benchSyncFleet(b, mode)
+	b.ResetTimer()
+	rep, err := Drive(srv, gen, DriveConfig{Requests: b.N, Concurrency: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Served != uint64(b.N) {
+		b.Fatalf("served %d of %d", rep.Served, b.N)
+	}
+	b.ReportMetric(rep.QPS, "req/s")
+	b.ReportMetric(float64(rep.Final.Syncs), "syncs")
+}
+
+// BenchmarkClusterSyncBarrier drives a syncing fleet with the stop-the-world
+// protocol: every periodic priority-merge sync takes the fleet write lock
+// and stalls all 8 workers until the merged state is installed.
+func BenchmarkClusterSyncBarrier(b *testing.B) { benchClusterSync(b, SyncModeBarrier) }
+
+// BenchmarkClusterSyncAsync drives the identical fleet with the versioned
+// asynchronous pipeline: snapshots, background merge, and atomic per-replica
+// publication, with serving never blocked behind a fleet-wide lock. Compared
+// against the Barrier bench it quantifies the serve-latency tail the paper's
+// live-update design removes; the virtual-time stats (Served, sync counts)
+// are identical between the two.
+func BenchmarkClusterSyncAsync(b *testing.B) { benchClusterSync(b, SyncModeAsync) }
+
 // BenchmarkLoRATrainStep measures one co-located LoRA training step
 // (forward + backward + factor update, dense layers frozen).
 func BenchmarkLoRATrainStep(b *testing.B) {

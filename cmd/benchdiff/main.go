@@ -1,0 +1,197 @@
+// Command benchdiff compares two `go test -json -bench` event streams (the
+// BENCH_ci.json artifacts the CI bench job uploads) and renders a markdown
+// summary of per-benchmark ns/op movement — a dependency-free benchstat
+// substitute for the job summary.
+//
+// Usage:
+//
+//	benchdiff -old prev/BENCH_ci.json -new BENCH_ci.json [-threshold 25]
+//
+// Exit status: 0 on success (including "no previous artifact", which renders
+// a note instead of a table — the first run of a new repo has no baseline),
+// 1 when the new results are missing or unreadable. Regressions beyond
+// -threshold percent are flagged in the table but never fail the job: CI
+// runners are too noisy for single-iteration gates, the table exists to make
+// the trajectory visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's parsed result line.
+type benchResult struct {
+	Name    string
+	Iters   int64
+	NsPerOp float64
+	// Extra holds trailing custom metrics (req/s, syncs, B/op, ...).
+	Extra map[string]float64
+}
+
+// testEvent is the subset of the go test -json event schema we consume. In
+// -json mode the benchmark name is carried in the Test field while the
+// Output line holds only "  <iters>  <value> ns/op ..." — the two are
+// rejoined in parseStream.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parseBenchLine parses one benchmark result line of `go test -bench` output
+// ("BenchmarkFoo-8   3000   71893 ns/op   13958 req/s"). It returns false
+// for non-result lines.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: fields[0], Iters: iters, Extra: map[string]float64{}}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			seenNs = true
+		} else {
+			r.Extra[unit] = v
+		}
+	}
+	if !seenNs {
+		return benchResult{}, false
+	}
+	return r, true
+}
+
+// parseStream reads a go test -json event stream and collects benchmark
+// results from its output events.
+func parseStream(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]benchResult{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate plain-text lines (e.g. a raw `go test -bench` log).
+			if r, ok := parseBenchLine(line); ok {
+				out[r.Name] = r
+			}
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := ev.Output
+		// Rejoin name and result when the stream splits them (see testEvent).
+		if strings.HasPrefix(ev.Test, "Benchmark") && !strings.HasPrefix(strings.TrimSpace(text), "Benchmark") {
+			text = ev.Test + " " + text
+		}
+		if r, ok := parseBenchLine(text); ok {
+			out[r.Name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// renderDiff writes the markdown comparison of old vs new results.
+func renderDiff(w *bufio.Writer, oldRes, newRes map[string]benchResult, threshold float64) {
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "### Benchmark diff vs previous run\n\n")
+	fmt.Fprintf(w, "| benchmark | old ns/op | new ns/op | Δ |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
+	regressions := 0
+	for _, name := range names {
+		n := newRes[name]
+		o, ok := oldRes[name]
+		if !ok {
+			fmt.Fprintf(w, "| %s | — | %.0f | new |\n", name, n.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		flag := ""
+		if delta > threshold {
+			flag = " ⚠️"
+			regressions++
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", name, o.NsPerOp, n.NsPerOp, delta, flag)
+	}
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Fprintf(w, "| %s | %.0f | — | removed |\n", name, oldRes[name].NsPerOp)
+		}
+	}
+	fmt.Fprintf(w, "\n")
+	if regressions > 0 {
+		fmt.Fprintf(w, "⚠️ %d benchmark(s) regressed more than %.0f%% ns/op — single-iteration CI numbers are noisy; treat as a pointer, not a verdict.\n", regressions, threshold)
+	} else {
+		fmt.Fprintf(w, "No ns/op regression beyond %.0f%%.\n", threshold)
+	}
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous run's bench JSON (missing file → note, exit 0)")
+	newPath := flag.String("new", "", "current run's bench JSON (required)")
+	threshold := flag.Float64("threshold", 25, "flag ns/op regressions beyond this percentage")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(1)
+	}
+	newRes, err := parseStream(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading new results: %v\n", err)
+		os.Exit(1)
+	}
+	if len(newRes) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results in %s\n", *newPath)
+		os.Exit(1)
+	}
+	var oldRes map[string]benchResult
+	if *oldPath != "" {
+		oldRes, err = parseStream(*oldPath)
+	}
+	if *oldPath == "" || err != nil || len(oldRes) == 0 {
+		fmt.Fprintf(w, "### Benchmark diff\n\nNo previous bench artifact to diff against (first run, expired artifact, or download failure); recorded %d benchmarks as the new baseline.\n", len(newRes))
+		return
+	}
+	renderDiff(w, oldRes, newRes, *threshold)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkClusterSyncAsync \t    3000\t     71893 ns/op\t     13958 req/s\t        38.00 syncs\n")
+	if !ok {
+		t.Fatal("result line must parse")
+	}
+	if r.Name != "BenchmarkClusterSyncAsync" || r.Iters != 3000 || r.NsPerOp != 71893 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Extra["req/s"] != 13958 || r.Extra["syncs"] != 38 {
+		t.Fatalf("extra metrics lost: %+v", r.Extra)
+	}
+	for _, line := range []string{
+		"PASS",
+		"ok  \tliveupdate\t0.5s",
+		"goos: linux",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"BenchmarkNoNs 100 3 allocs/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("non-result line parsed: %q", line)
+		}
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const streamA = `{"Action":"output","Package":"liveupdate","Output":"BenchmarkServeRequest-8 \t   10000\t    100000 ns/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkGone-8 \t   10000\t    5 ns/op\n"}
+{"Action":"pass","Package":"liveupdate"}
+`
+
+const streamB = `{"Action":"output","Package":"liveupdate","Output":"BenchmarkServeRequest-8 \t   10000\t    150000 ns/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkFresh-8 \t   10\t    7 ns/op\n"}
+not json at all
+BenchmarkPlainText-8 	 200 	 42 ns/op
+{"Action":"output","Package":"liveupdate","Test":"BenchmarkSplitName","Output":"      10\t     25079 ns/op\t     48151 req/s\n"}
+{"Action":"output","Package":"liveupdate","Test":"BenchmarkSplitName","Output":"BenchmarkSplitName\n"}
+`
+
+func TestParseStream(t *testing.T) {
+	res, err := parseStream(writeTemp(t, "b.json", streamB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("parsed %d results, want 4 (incl. plain-text and split-name forms): %+v", len(res), res)
+	}
+	if res["BenchmarkPlainText-8"].NsPerOp != 42 {
+		t.Fatalf("plain-text fallback lost: %+v", res)
+	}
+	// go test -json splits the name (Test field) from the result line; the
+	// parser must rejoin them.
+	if r := res["BenchmarkSplitName"]; r.NsPerOp != 25079 || r.Extra["req/s"] != 48151 {
+		t.Fatalf("split-name result mis-parsed: %+v", r)
+	}
+}
+
+func TestRenderDiffFlagsRegression(t *testing.T) {
+	oldRes, err := parseStream(writeTemp(t, "old.json", streamA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := parseStream(writeTemp(t, "new.json", streamB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	renderDiff(w, oldRes, newRes, 25)
+	w.Flush()
+	out := sb.String()
+	for _, want := range []string{
+		"| BenchmarkServeRequest-8 | 100000 | 150000 | +50.0% ⚠️ |",
+		"| BenchmarkFresh-8 | — | 7 | new |",
+		"| BenchmarkGone-8 | 5 | — | removed |",
+		"1 benchmark(s) regressed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}

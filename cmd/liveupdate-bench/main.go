@@ -5,6 +5,7 @@
 //	liveupdate-bench -exp fig14            # one experiment, full fidelity
 //	liveupdate-bench -exp all -quick       # everything, reduced samples
 //	liveupdate-bench -exp all -concurrency 4  # experiments in parallel
+//	liveupdate-bench -exp syncpipe -sync-mode barrier  # fleet serving, one sync mode
 //	liveupdate-bench -list                 # show available experiment ids
 //
 // Exit status: 0 on success, 1 when an experiment fails, 2 when emitting
@@ -31,11 +32,26 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	concurrency := flag.Int("concurrency", 1,
 		"experiments to run in parallel (output order stays deterministic)")
+	syncMode := flag.String("sync-mode", "",
+		fmt.Sprintf("restrict fleet-serving experiments (syncpipe) to one sync propagation mode %v; empty runs both", liveupdate.SyncModes()))
 	flag.Parse()
 
 	if *concurrency < 1 {
 		fmt.Fprintf(os.Stderr, "liveupdate-bench: -concurrency must be >= 1, got %d\n", *concurrency)
 		os.Exit(1)
+	}
+	if *syncMode != "" {
+		valid := false
+		for _, m := range liveupdate.SyncModes() {
+			if *syncMode == string(m) {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "liveupdate-bench: -sync-mode must be one of %v, got %q\n",
+				liveupdate.SyncModes(), *syncMode)
+			os.Exit(1)
+		}
 	}
 
 	// All result emission goes through one checked writer: a write error
@@ -85,7 +101,11 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			out, err := liveupdate.RunExperiment(id, *seed, *quick)
+			out, err := liveupdate.RunExperimentWith(id, liveupdate.ExperimentConfig{
+				Seed:     *seed,
+				Quick:    *quick,
+				SyncMode: liveupdate.SyncMode(*syncMode),
+			})
 			results[i] = result{out: out, seconds: time.Since(start).Seconds(), err: err}
 		}(i, id)
 	}

@@ -6,7 +6,8 @@
 //
 //	liveupdate-serve -profile criteo -requests 20000 -report 5000
 //	liveupdate-serve -replicas 4 -router hash -sync 30s
-//	liveupdate-serve -replicas 4 -concurrency 8   # parallel load driver
+//	liveupdate-serve -replicas 4 -concurrency 8          # parallel load driver
+//	liveupdate-serve -replicas 4 -sync-mode barrier      # legacy stop-the-world syncs
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		fmt.Sprintf("routing policy for -replicas > 1 %v", liveupdate.RouterPolicies()))
 	syncEvery := flag.Duration("sync", 5*time.Second,
 		"virtual-time interval between fleet LoRA syncs (0 disables)")
+	syncMode := flag.String("sync-mode", string(liveupdate.SyncModeAsync),
+		fmt.Sprintf("fleet sync propagation %v: async pipelines snapshot→merge→publish off the serving path, barrier stops the world", liveupdate.SyncModes()))
 	noTrain := flag.Bool("no-train", false, "disable the co-located trainer (Only-Infer mode)")
 	noIsolation := flag.Bool("no-isolation", false, "disable NUMA scheduling and reuse (naive co-location)")
 	concurrency := flag.Int("concurrency", 1,
@@ -67,6 +70,7 @@ func main() {
 		liveupdate.WithReplicas(*replicas),
 		liveupdate.WithRouter(liveupdate.RouterPolicy(*router)),
 		liveupdate.WithSyncEvery(*syncEvery),
+		liveupdate.WithSyncMode(liveupdate.SyncMode(*syncMode)),
 		liveupdate.WithTraining(!*noTrain),
 		liveupdate.WithIsolation(!*noIsolation),
 	)
@@ -75,8 +79,8 @@ func main() {
 	}
 	gen := liveupdate.NewWorkload(profile, *seed^0x5e)
 
-	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s training=%v isolation=%v concurrency=%d\n",
-		liveupdate.Version, profile.Name, *replicas, *router, !*noTrain, !*noIsolation, *concurrency)
+	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s sync-mode=%s training=%v isolation=%v concurrency=%d\n",
+		liveupdate.Version, profile.Name, *replicas, *router, *syncMode, !*noTrain, !*noIsolation, *concurrency)
 	fmt.Printf("%-10s %-10s %-12s %-12s %-14s %-8s %-12s %-12s\n",
 		"served", "P99(ms)", "violations", "trainSteps", "loraOverhead", "syncs", "syncBytes", "virtTime(s)")
 	printStats := func(st liveupdate.Stats) {
@@ -126,7 +130,7 @@ func main() {
 			fmt.Printf("  %-8d %-10d %-10.3f %-12.4f %-12d %-12.2f\n",
 				i, rs.Served, rs.P99*1000, rs.ViolationRate, rs.TrainSteps, rs.VirtualTime)
 		}
-		fmt.Printf("\nfleet sync: %d syncs, %d payload bytes, %.4f virtual s\n",
-			st.Syncs, st.SyncBytes, st.SyncSeconds)
+		fmt.Printf("\nfleet sync (%s): %d syncs, %d payload bytes, %.4f virtual s (%.4f compute + %.4f publish)\n",
+			*syncMode, st.Syncs, st.SyncBytes, st.SyncSeconds, st.SyncComputeSeconds, st.SyncPublishSeconds)
 	}
 }

@@ -15,24 +15,37 @@
 //     target replica's own mutex (inside core.System.Serve). Requests for
 //     different replicas never contend; requests for the same replica
 //     serialize, matching the single-server virtual-clock model.
-//   - A priority-merge sync takes the fleet-wide write lock: it is a barrier
-//     that waits for in-flight requests to drain, mutates every replica's
-//     LoRA set, and only then readmits traffic — replica-consistency
-//     semantics are unchanged from the sequential implementation.
+//   - How a periodic sync propagates depends on Config.Mode. In SyncBarrier
+//     mode it takes the fleet-wide write lock: a stop-the-world barrier that
+//     drains in-flight requests, mutates every replica, and readmits
+//     traffic. In SyncAsync mode (the default) there is no fleet-wide
+//     serialization point at all: the pipeline snapshots each replica
+//     individually (holding only that replica's lock for the O(rows)
+//     export), runs the priority merge on a background goroutine with the
+//     simulated AllGather cost charged to the sync clock, and publishes the
+//     merged state per replica through epoch-versioned atomic pointer swaps
+//     (lora.Set.Publish). ServeShard never blocks on a periodic sync in
+//     async mode; manual SyncNow and ReplicasConsistent remain explicit
+//     barriers in both modes.
 //   - Periodic syncs trigger on virtual-time epochs: epoch k starts when the
 //     fleet clock crosses k·SyncEvery, and each epoch is synced exactly
 //     once. Because a replica's virtual timeline depends only on its own
-//     request subsequence (LoRA values never feed back into latency), the
-//     periodic sync count — like Served, Violations, and every per-replica
-//     virtual-time statistic — is identical no matter how many goroutines
-//     drive the fleet, as long as per-replica request order is preserved
-//     (see internal/driver, which guarantees exactly that).
+//     request subsequence (LoRA values never feed back into latency), every
+//     virtual-time statistic — Served, Violations, sync counts, per-replica
+//     clocks and latency quantiles — is identical no matter how many
+//     goroutines drive the fleet, in either mode, as long as per-replica
+//     request order is preserved (see internal/driver, which guarantees
+//     exactly that). What async mode gives up is bit-identical adapter
+//     VALUES across runs: which training steps land before a given snapshot
+//     depends on wall-clock interleaving, the bounded-staleness window the
+//     paper's live-update design explicitly embraces.
 package cluster
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"liveupdate/internal/collective"
@@ -42,6 +55,35 @@ import (
 	"liveupdate/internal/simnet"
 	"liveupdate/internal/trace"
 )
+
+// SyncMode selects how periodic priority-merge syncs propagate through a
+// serving fleet.
+type SyncMode string
+
+const (
+	// SyncAsync (the default) runs the versioned, double-buffered pipeline:
+	// snapshot → background merge → atomic per-replica publish. Serving
+	// never blocks on a fleet-wide lock during a periodic sync.
+	SyncAsync SyncMode = "async"
+	// SyncBarrier is the legacy stop-the-world protocol: every periodic
+	// sync takes the fleet write lock, draining and blocking all serving
+	// until the merged state is installed everywhere.
+	SyncBarrier SyncMode = "barrier"
+)
+
+// SyncModes lists the supported modes, default first.
+func SyncModes() []SyncMode { return []SyncMode{SyncAsync, SyncBarrier} }
+
+// ParseSyncMode validates a mode name; the empty string means SyncAsync.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch SyncMode(s) {
+	case "":
+		return SyncAsync, nil
+	case SyncAsync, SyncBarrier:
+		return SyncMode(s), nil
+	}
+	return "", fmt.Errorf("cluster: unknown sync mode %q (valid: %v)", s, SyncModes())
+}
 
 // Config describes a replica fleet.
 type Config struct {
@@ -62,6 +104,10 @@ type Config struct {
 	// crosses. Zero disables periodic syncs (SyncNow remains available).
 	SyncEvery time.Duration
 
+	// Mode selects the periodic-sync propagation protocol. The zero value
+	// means SyncAsync.
+	Mode SyncMode
+
 	// BandwidthBps and LatencySec describe the sync fabric links. Zero
 	// values default to 100 GbE / 1 ms.
 	BandwidthBps float64
@@ -76,6 +122,9 @@ func (c Config) Validate() error {
 	if c.SyncEvery < 0 {
 		return fmt.Errorf("cluster: SyncEvery must be non-negative")
 	}
+	if _, err := ParseSyncMode(string(c.Mode)); err != nil {
+		return err
+	}
 	if c.BandwidthBps < 0 || c.LatencySec < 0 {
 		return fmt.Errorf("cluster: link parameters must be non-negative")
 	}
@@ -88,20 +137,34 @@ func (c Config) Validate() error {
 // for concurrent callers (see the package comment for the locking model).
 type Cluster struct {
 	cfg      Config
+	mode     SyncMode
 	replicas []*core.System
 	router   Router
 	sync     *collective.SyncGroup
+	async    *collective.AsyncSyncGroup
 
 	// syncClock accumulates virtual time spent inside priority-merge syncs,
 	// separate from the replicas' serving clocks.
 	syncClock *simnet.Clock
 
-	// fleetMu is the serve/sync barrier: Serve holds it for read, syncs and
-	// other fleet-wide mutations hold it for write.
+	// fleetMu is the serve/sync barrier: Serve holds it for read; barrier
+	// syncs (every periodic sync in barrier mode, SyncNow and consistency
+	// probes in both modes) hold it for write. The async pipeline never
+	// takes it.
 	fleetMu sync.RWMutex
 	// syncedEpoch is the last SyncEvery epoch a periodic sync has covered.
-	// Guarded by fleetMu (written under the write lock, read under either).
-	syncedEpoch int64
+	// Atomic: in barrier mode it is written under the fleet write lock, in
+	// async mode by the pipeline goroutine; serve-path trigger checks read
+	// it lock-free in both modes.
+	syncedEpoch atomic.Int64
+	// pipe drives asynchronous periodic syncs (nil in barrier mode or when
+	// periodic syncs are disabled).
+	pipe *syncPipeline
+
+	// testSyncStall, when set by tests, is invoked by the async pipeline
+	// after the snapshot while the merge is staged — a hook to hold a sync
+	// "in flight" and prove serving does not block behind it.
+	testSyncStall func()
 
 	// gen counts state-changing operations (serves, syncs); the merged-stats
 	// cache is keyed on it so Stats() is O(1) between changes. It is sharded
@@ -129,8 +192,14 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.LatencySec == 0 {
 		cfg.LatencySec = 0.001
 	}
+	mode, err := ParseSyncMode(string(cfg.Mode))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Mode = mode
 	c := &Cluster{
 		cfg:       cfg,
+		mode:      mode,
 		router:    cfg.Router,
 		syncClock: simnet.NewClock(),
 		gen:       metrics.NewShardedCounter(cfg.Replicas),
@@ -149,6 +218,10 @@ func New(cfg Config) (*Cluster, error) {
 		sets[i] = sys.LoRA
 	}
 	c.sync = collective.NewSyncGroup(sets, cfg.BandwidthBps, cfg.LatencySec)
+	c.async = collective.NewAsyncSyncGroup(c.sync)
+	if mode == SyncAsync && cfg.SyncEvery > 0 {
+		c.pipe = newSyncPipeline(c)
+	}
 	return c, nil
 }
 
@@ -160,6 +233,9 @@ func (c *Cluster) Replica(i int) *core.System { return c.replicas[i] }
 
 // RouterName returns the active routing policy's name.
 func (c *Cluster) RouterName() string { return c.router.Name() }
+
+// Mode returns the periodic-sync propagation mode.
+func (c *Cluster) Mode() SyncMode { return c.mode }
 
 // NumShards returns the number of independently-serving shards (replicas).
 // Together with ShardOf and ServeShard it lets a load driver pre-route
@@ -183,11 +259,19 @@ func (c *Cluster) Serve(s trace.Sample) (core.Response, error) {
 }
 
 // ServeShard serves one request on a specific replica, then fires any
-// periodic LoRA syncs whose virtual-time epoch the fleet clock has crossed.
+// periodic LoRA syncs whose virtual-time epoch the fleet clock has crossed —
+// synchronously behind the fleet write lock in barrier mode, or handed to
+// the background pipeline (without ever taking a fleet-wide write lock) in
+// async mode.
 func (c *Cluster) ServeShard(shard int, s trace.Sample) (core.Response, error) {
 	if shard < 0 || shard >= len(c.replicas) {
 		return core.Response{}, fmt.Errorf("cluster: router %s picked replica %d of %d",
 			c.router.Name(), shard, len(c.replicas))
+	}
+	if c.pipe != nil {
+		if err := c.pipe.Err(); err != nil {
+			return core.Response{}, err
+		}
 	}
 	c.fleetMu.RLock()
 	resp, err := c.replicas[shard].Serve(s)
@@ -196,13 +280,24 @@ func (c *Cluster) ServeShard(shard int, s trace.Sample) (core.Response, error) {
 		return resp, err
 	}
 	resp.Replica = shard
-	needSync := false
-	if d := c.cfg.SyncEvery.Seconds(); d > 0 && c.epochOf(d) > c.syncedEpoch {
-		needSync = true
+	needBarrierSync := false
+	if d := c.cfg.SyncEvery.Seconds(); d > 0 {
+		if e := c.epochOf(d); e > c.syncedEpoch.Load() {
+			if c.mode == SyncBarrier {
+				needBarrierSync = true
+			} else {
+				// Kick while still holding the read lock (kick is
+				// non-blocking and touches neither fleetMu nor the
+				// replicas), so anyone holding the WRITE lock knows no new
+				// pipeline work can appear under them — the invariant
+				// SyncNow and ReplicasConsistent rely on when they drain.
+				c.pipe.kick(e)
+			}
+		}
 	}
 	c.gen.Add(shard, 1)
 	c.fleetMu.RUnlock()
-	if needSync {
+	if needBarrierSync {
 		if err := c.syncPendingEpochs(); err != nil {
 			return resp, err
 		}
@@ -211,20 +306,20 @@ func (c *Cluster) ServeShard(shard int, s trace.Sample) (core.Response, error) {
 }
 
 // epochOf returns the SyncEvery epoch the fleet clock is currently in.
-// Callers must hold fleetMu (read or write).
 func (c *Cluster) epochOf(d float64) int64 {
 	return int64(math.Floor(c.fleetClock() / d))
 }
 
 // syncPendingEpochs takes the fleet write lock and syncs once per epoch the
-// fleet clock has crossed since the last periodic sync. The recheck under
-// the write lock makes racing callers idempotent: whoever gets the lock
-// first syncs, the rest observe syncedEpoch caught up and do nothing.
+// fleet clock has crossed since the last periodic sync — the barrier-mode
+// protocol. The recheck under the write lock makes racing callers
+// idempotent: whoever gets the lock first syncs, the rest observe
+// syncedEpoch caught up and do nothing.
 func (c *Cluster) syncPendingEpochs() error {
 	d := c.cfg.SyncEvery.Seconds()
 	c.fleetMu.Lock()
 	defer c.fleetMu.Unlock()
-	for target := c.epochOf(d); c.syncedEpoch < target; c.syncedEpoch++ {
+	for target := c.epochOf(d); c.syncedEpoch.Load() < target; c.syncedEpoch.Add(1) {
 		if _, err := c.syncLocked(); err != nil {
 			return fmt.Errorf("cluster: periodic sync: %w", err)
 		}
@@ -234,7 +329,7 @@ func (c *Cluster) syncPendingEpochs() error {
 
 // fleetClock returns the most advanced replica clock — the fleet's wall
 // time under concurrent serving. Clock reads are atomic, so this is safe
-// whenever the caller holds fleetMu for read or write.
+// from any goroutine.
 func (c *Cluster) fleetClock() float64 {
 	max := 0.0
 	for _, r := range c.replicas {
@@ -245,14 +340,150 @@ func (c *Cluster) fleetClock() float64 {
 	return max
 }
 
+// syncPipeline drives asynchronous periodic syncs: serve-path triggers kick
+// it with the epoch target they observed, and a single background worker
+// processes one epoch at a time — snapshot, staged merge, per-replica
+// publish — until it has caught up. The worker exits when idle, so an idle
+// Cluster holds no goroutines.
+type syncPipeline struct {
+	c *Cluster
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	target  int64 // highest epoch any trigger has requested
+	running bool  // a worker goroutine is active
+	err     error // first pipeline failure, surfaced on later calls
+
+	failed atomic.Bool // lock-free fast path for the error check
+}
+
+func newSyncPipeline(c *Cluster) *syncPipeline {
+	p := &syncPipeline{c: c, target: -1}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Err returns the first pipeline failure, if any (lock-free when healthy).
+func (p *syncPipeline) Err() error {
+	if p == nil || !p.failed.Load() {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// kick requests syncs up to epoch target and returns immediately, starting
+// the background worker if none is active.
+func (p *syncPipeline) kick(target int64) {
+	p.mu.Lock()
+	if target > p.target {
+		p.target = target
+	}
+	if p.running || p.err != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.running = true
+	p.mu.Unlock()
+	go p.run()
+}
+
+// run processes pending epochs until caught up, then exits.
+func (p *syncPipeline) run() {
+	for {
+		p.mu.Lock()
+		if p.err != nil || p.c.syncedEpoch.Load() >= p.target {
+			p.running = false
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		if err := p.c.syncEpochAsync(); err != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = fmt.Errorf("cluster: async periodic sync: %w", err)
+				p.failed.Store(true)
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// drain blocks until the pipeline has no in-flight work (every epoch kicked
+// so far is published) and returns its sticky error, if any. It never blocks
+// serving — only the caller waits.
+func (p *syncPipeline) drain() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.running {
+		p.cond.Wait()
+	}
+	return p.err
+}
+
+// syncEpochAsync runs one epoch of the asynchronous protocol:
+//
+//  1. snapshot — each replica is locked individually, just long enough to
+//     export (and clear) its modified-row support;
+//  2. merge — PriorityMerge plus the simulated AllGather pricing run on a
+//     background goroutine (collective.AsyncSyncGroup), with the cost
+//     charged to the sync clock, not to any serving clock;
+//  3. publish — the merged state is installed per replica through
+//     epoch-versioned atomic pointer swaps.
+//
+// No step takes the fleet-wide write lock, so serving proceeds throughout.
+func (c *Cluster) syncEpochAsync() error {
+	states := make([][]lora.TableState, len(c.replicas))
+	for i, r := range c.replicas {
+		states[i] = r.SnapshotLoRA()
+	}
+	pending := c.async.Begin(states)
+	if hook := c.testSyncStall; hook != nil {
+		hook()
+	}
+	merged, _, epoch, err := c.async.Finish(pending, c.syncClock)
+	if err != nil {
+		return err
+	}
+	for _, r := range c.replicas {
+		r.PublishLoRA(merged, epoch)
+	}
+	c.syncedEpoch.Add(1)
+	c.gen.Add(0, 1)
+	return nil
+}
+
+// quiesceSyncs waits for the async pipeline (if any) to finish all epochs
+// kicked so far, so fleet-frozen operations and final statistics observe a
+// settled adapter state. No-op in barrier mode.
+func (c *Cluster) quiesceSyncs() error { return c.pipe.drain() }
+
+// Err returns the async pipeline's sticky failure, if any (nil in barrier
+// mode and on a healthy pipeline). A failed periodic sync also surfaces on
+// every subsequent Serve/ServeShard and SyncNow; this accessor exists for
+// callers that only poll Stats — which reports completed epochs and cannot
+// carry an error — after a drive has ended.
+func (c *Cluster) Err() error { return c.pipe.Err() }
+
 // SyncNow runs one LoRA priority-merge synchronization across the fleet
-// (Algorithm 3 + tree AllGather) and returns its merge statistics. It takes
-// the fleet-wide write lock — a barrier for in-flight requests — and after
-// it returns every replica holds identical adapter state. Manual syncs do
-// not consume periodic epochs.
+// (Algorithm 3 + tree AllGather) and returns its merge statistics. It is an
+// explicit barrier in both modes: it takes the fleet-wide write lock and
+// THEN drains any in-flight asynchronous epochs (safe: the pipeline never
+// touches fleetMu, and with the write lock held no serve can kick a new
+// one), so no background publish can land after SyncNow returns. After it
+// returns every replica holds identical adapter state. Manual syncs do not
+// consume periodic epochs.
 func (c *Cluster) SyncNow() (collective.MergeStats, error) {
 	c.fleetMu.Lock()
 	defer c.fleetMu.Unlock()
+	if err := c.quiesceSyncs(); err != nil {
+		return collective.MergeStats{}, err
+	}
 	return c.syncLocked()
 }
 
@@ -288,13 +519,18 @@ func (c *Cluster) syncLocked() (collective.MergeStats, error) {
 // ReplicasConsistent verifies the §II-C invariant: for the first idsPerTable
 // ids of every table, all replicas produce identical effective embedding
 // rows (base + LoRA delta). It is meaningful right after a sync. It takes
-// the fleet write lock to read a frozen snapshot.
+// the fleet write lock and then drains the async pipeline (ordering matters:
+// with the write lock held no serve can kick a fresh epoch, so no background
+// publish can interleave with the probe), reading a frozen snapshot.
 func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 	if len(c.replicas) < 2 {
 		return true
 	}
 	c.fleetMu.Lock()
 	defer c.fleetMu.Unlock()
+	if err := c.quiesceSyncs(); err != nil {
+		return false
+	}
 	c.lockReplicas()
 	defer c.unlockReplicas()
 	p := c.cfg.Base.Profile
@@ -325,6 +561,13 @@ func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 // windows (not an average of per-replica quantiles), and the per-replica
 // breakdown in Replicas.
 //
+// In async mode Stats first drains the pipeline, so the snapshot reflects
+// every sync epoch the fleet had crossed when the call was made — which is
+// what makes the final sync counts of a run deterministic for any worker
+// count. Draining waits only for the background merge, never for serving.
+// A failed async sync cannot be reported here (Stats carries no error);
+// it surfaces on every subsequent Serve and via Err().
+//
 // When no latency samples have been retained anywhere in the fleet (nothing
 // served yet), P50 and P99 are NaN — the documented "no data" sentinel;
 // check with math.IsNaN rather than comparing against zero, which is a
@@ -334,6 +577,9 @@ func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 // recomputed only after state has changed (a serve or a sync), so polling
 // Stats in a reporting loop is cheap.
 func (c *Cluster) Stats() core.Stats {
+	// Quiesce before reading the generation counter so a draining sync's
+	// publish lands inside this snapshot, not after it.
+	_ = c.quiesceSyncs()
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
 	gen := c.gen.Load()
@@ -360,10 +606,12 @@ func (c *Cluster) mergedStats() core.Stats {
 	merged := core.Stats{
 		VirtualTime: c.fleetClock(),
 	}
-	syncs, bytes, seconds := c.sync.Stats()
-	merged.Syncs = syncs
-	merged.SyncBytes = bytes
-	merged.SyncSeconds = seconds
+	gs := c.sync.GroupStats()
+	merged.Syncs = gs.Syncs
+	merged.SyncBytes = gs.PayloadBytes
+	merged.SyncSeconds = gs.Seconds()
+	merged.SyncComputeSeconds = gs.ComputeSeconds
+	merged.SyncPublishSeconds = gs.PublishSeconds
 	merged.SLA = c.cfg.Base.Node.SLA
 
 	var lat []float64

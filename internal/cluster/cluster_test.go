@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -38,6 +40,212 @@ func TestNewValidation(t *testing.T) {
 	cfg.SyncEvery = -time.Second
 	if _, err := New(cfg); err == nil {
 		t.Fatal("negative SyncEvery must be rejected")
+	}
+	cfg = testConfig(t, 2)
+	cfg.Mode = SyncMode("mostly-stopped-world")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown sync mode must be rejected")
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	if m, err := ParseSyncMode(""); err != nil || m != SyncAsync {
+		t.Fatalf("empty mode → (%v, %v), want async default", m, err)
+	}
+	for _, m := range SyncModes() {
+		got, err := ParseSyncMode(string(m))
+		if err != nil || got != m {
+			t.Fatalf("ParseSyncMode(%q) = (%v, %v)", m, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("nope"); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	c, err := New(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode() != SyncAsync {
+		t.Fatalf("default mode = %s, want %s", c.Mode(), SyncAsync)
+	}
+}
+
+// TestAsyncServeNeverBlocksOnInFlightSync is the tentpole acceptance test:
+// with SyncMode async, ServeShard must not block on any fleet-wide write
+// lock while a periodic sync is in flight. The test parks the pipeline
+// between its snapshot and publish steps via the stall hook, then serves
+// from N goroutines and requires every request to complete — with a bounded
+// per-call wall latency — while the merge is still provably unpublished.
+// Under the barrier protocol this workload would deadlock-by-design: the
+// periodic sync would hold the fleet write lock for the whole stall.
+func TestAsyncServeNeverBlocksOnInFlightSync(t *testing.T) {
+	cfg := testConfig(t, 4)
+	cfg.SyncEvery = 20 * time.Millisecond // crossed within a few requests
+	cfg.Mode = SyncAsync
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFlight := make(chan struct{}) // closed when the first sync reaches the stall
+	release := make(chan struct{})  // closed by the test to let the sync finish
+	var hookOnce sync.Once
+	c.testSyncStall = func() {
+		hookOnce.Do(func() { close(inFlight) })
+		<-release
+	}
+
+	gen := trace.MustNewGenerator(testProfile(t), 23)
+	// Route (deterministically) enough requests to cross the first epoch.
+	var warm []trace.Sample
+	shards := make([]int, 0, 64)
+	for i := 0; i < 64; i++ {
+		s := gen.Next()
+		warm = append(warm, s)
+		shards = append(shards, c.ShardOf(s))
+	}
+	for i, s := range warm {
+		if _, err := c.ServeShard(shards[i], s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-inFlight:
+	case <-time.After(10 * time.Second):
+		t.Fatal("periodic sync never started: fixture too small")
+	}
+
+	// A sync is now in flight and stalled. Serve from N goroutines, one per
+	// replica to keep per-shard order deterministic, and require completion
+	// with bounded per-call latency while the merge stays unpublished.
+	const perWorker = 50
+	const bound = 5 * time.Second // generous for CI; a barrier would stall forever
+	var wg sync.WaitGroup
+	errs := make(chan error, c.Size())
+	for shard := 0; shard < c.Size(); shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			g := trace.MustNewGenerator(testProfile(t), uint64(100+shard))
+			for i := 0; i < perWorker; i++ {
+				start := time.Now()
+				if _, err := c.ServeShard(shard, g.Next()); err != nil {
+					errs <- err
+					return
+				}
+				if d := time.Since(start); d > bound {
+					errs <- fmt.Errorf("shard %d: serve stalled %v behind an in-flight sync", shard, d)
+					return
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The serving above must have happened entirely during the stalled sync.
+	select {
+	case <-release:
+		t.Fatal("impossible: release already closed")
+	default:
+	}
+	if got := c.syncedEpoch.Load(); got != 0 {
+		t.Fatalf("sync published during stall: syncedEpoch = %d", got)
+	}
+
+	close(release)
+	st := c.Stats() // drains the pipeline
+	if st.Syncs == 0 {
+		t.Fatal("stalled sync must complete after release")
+	}
+	wantServed := uint64(len(warm) + c.Size()*perWorker)
+	if st.Served != wantServed {
+		t.Fatalf("served %d, want %d", st.Served, wantServed)
+	}
+}
+
+// TestAsyncMatchesBarrierVirtualStats drives the same trace through a fleet
+// in each mode sequentially and checks that every virtual-time statistic the
+// determinism contract covers — Served, Violations, TrainSteps, sync counts,
+// fleet clock, latency quantiles — is identical across modes: the pipeline
+// changes WHEN merged values land, never how time or latency accrue.
+func TestAsyncMatchesBarrierVirtualStats(t *testing.T) {
+	run := func(mode SyncMode) core.Stats {
+		cfg := testConfig(t, 3)
+		cfg.SyncEvery = 50 * time.Millisecond
+		cfg.Mode = mode
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.MustNewGenerator(testProfile(t), 29)
+		for i := 0; i < 500; i++ {
+			if _, err := c.Serve(gen.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	b := run(SyncBarrier)
+	a := run(SyncAsync)
+	if b.Syncs == 0 {
+		t.Fatal("fixture too small: no periodic syncs fired")
+	}
+	if a.Served != b.Served || a.Violations != b.Violations ||
+		a.TrainSteps != b.TrainSteps || a.Syncs != b.Syncs ||
+		a.VirtualTime != b.VirtualTime || a.P99 != b.P99 || a.P50 != b.P50 {
+		t.Fatalf("modes diverge on virtual-time stats:\n  barrier: served=%d viol=%d steps=%d syncs=%d vt=%v p99=%v\n  async:   served=%d viol=%d steps=%d syncs=%d vt=%v p99=%v",
+			b.Served, b.Violations, b.TrainSteps, b.Syncs, b.VirtualTime, b.P99,
+			a.Served, a.Violations, a.TrainSteps, a.Syncs, a.VirtualTime, a.P99)
+	}
+	if a.SyncComputeSeconds <= 0 || a.SyncPublishSeconds <= 0 {
+		t.Fatalf("async sync-cost split missing: %+v", a)
+	}
+	if math.Abs(a.SyncSeconds-(a.SyncComputeSeconds+a.SyncPublishSeconds)) > 1e-12 {
+		t.Fatalf("SyncSeconds %v != compute %v + publish %v",
+			a.SyncSeconds, a.SyncComputeSeconds, a.SyncPublishSeconds)
+	}
+}
+
+// TestAsyncPublishStampsEpochs verifies the versioned publish protocol: each
+// completed async epoch installs a monotonically increasing epoch stamp on
+// every replica's adapter set, readable lock-free.
+func TestAsyncPublishStampsEpochs(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.SyncEvery = 30 * time.Millisecond
+	cfg.Mode = SyncAsync
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Size(); i++ {
+		if e := c.Replica(i).AdapterEpoch(); e != -1 {
+			t.Fatalf("replica %d epoch before first sync = %d, want -1", i, e)
+		}
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 37)
+	for i := 0; i < 400; i++ {
+		if _, err := c.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Syncs == 0 {
+		t.Fatal("no periodic syncs fired")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("healthy pipeline must report nil Err, got %v", err)
+	}
+	want := int64(st.Syncs)
+	for i := 0; i < c.Size(); i++ {
+		if e := c.Replica(i).AdapterEpoch(); e != want {
+			t.Fatalf("replica %d epoch = %d, want %d", i, e, want)
+		}
+		v := c.Replica(i).AdapterVersion()
+		if v == nil || len(v.Tables) != testProfile(t).NumTables {
+			t.Fatalf("replica %d published version malformed: %+v", i, v)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ package collective
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"liveupdate/internal/lora"
 	"liveupdate/internal/simnet"
@@ -47,6 +48,20 @@ func AllGatherTime(n int, bytesPerNode int64, bandwidthBps, latencySec float64) 
 	return total
 }
 
+// AllGatherBytes returns the total wire volume a recursive-doubling
+// AllGather moves for n participants each contributing bytesPerNode: in
+// round r every node ships its accumulated 2^r·bytesPerNode block, so the
+// fleet-wide traffic is n·(2^rounds − 1)·bytesPerNode.
+func AllGatherBytes(n int, bytesPerNode int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	if bytesPerNode < 0 {
+		panic("collective: negative payload")
+	}
+	return int64(n) * ((1 << AllGatherRounds(n)) - 1) * bytesPerNode
+}
+
 // BroadcastTime returns the virtual duration of a binomial-tree broadcast of
 // size bytes to n nodes: ceil(log2(n)) rounds, each shipping the full
 // payload one hop.
@@ -57,6 +72,19 @@ func BroadcastTime(n int, size int64, bandwidthBps, latencySec float64) float64 
 	rounds := AllGatherRounds(n)
 	per := latencySec + float64(size)/bandwidthBps
 	return float64(rounds) * per
+}
+
+// BroadcastBytes returns the total wire volume of a binomial-tree broadcast
+// of size bytes to n nodes: n−1 point-to-point transmissions of the full
+// payload (the rounds overlap in time, not in traffic).
+func BroadcastBytes(n int, size int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	if size < 0 {
+		panic("collective: negative payload")
+	}
+	return int64(n-1) * size
 }
 
 // AllGatherOnNetwork executes a recursive-doubling AllGather on an actual
@@ -92,9 +120,22 @@ func AllGatherOnNetwork(c *simnet.Clock, net *simnet.Network, bytesPerNode int64
 // MergeStats describes one priority-merge synchronization.
 type MergeStats struct {
 	Participants int
-	RowsMerged   int   // distinct (table, id) rows in the merged state
-	Conflicts    int   // rows modified by more than one rank
-	PayloadBytes int64 // sum of all exported payloads (the AllGather volume)
+	RowsMerged   int // distinct (table, id) rows in the merged state
+	Conflicts    int // rows modified by more than one rank
+
+	// PayloadBytes is the sum of every participant's exported payload for
+	// this sync — each rank's contribution counted exactly once. It is what
+	// the ranks feed INTO the collective, not the traffic the collective
+	// moves; see SyncGroup.GroupStats for the simulated wire volume.
+	PayloadBytes int64
+}
+
+// RankedState tags one rank's exported LoRA state with its priority id, so
+// conflict resolution depends on the rank itself rather than on the position
+// of the state in the input slice.
+type RankedState struct {
+	Rank   int // rank/replica id; the highest rank wins conflicts
+	Tables []lora.TableState
 }
 
 // PriorityMerge implements Algorithm 3 lines 8-11: given the exported LoRA
@@ -102,51 +143,80 @@ type MergeStats struct {
 // rows per table, resolving conflicts deterministically in favor of the
 // highest rank id, and adopts the highest participating rank's B factor.
 func PriorityMerge(states [][]lora.TableState) ([]lora.TableState, MergeStats, error) {
+	ranked := make([]RankedState, len(states))
+	for r, st := range states {
+		ranked[r] = RankedState{Rank: r, Tables: st}
+	}
+	return PriorityMergeRanked(ranked)
+}
+
+// PriorityMergeRanked is PriorityMerge over explicitly ranked states. The
+// merged result is identical for any permutation of the input slice: winners
+// are chosen by comparing the contributors' Rank ids, never their slice
+// positions, and the shared B factor is adopted from the highest Rank
+// present. Rank ids must be distinct.
+func PriorityMergeRanked(states []RankedState) ([]lora.TableState, MergeStats, error) {
 	if len(states) == 0 {
 		return nil, MergeStats{}, fmt.Errorf("collective: no states to merge")
 	}
-	numTables := len(states[0])
-	for r, st := range states {
-		if len(st) != numTables {
+	numTables := len(states[0].Tables)
+	top := 0 // index of the highest-rank state
+	seenRanks := make(map[int]bool, len(states))
+	for i, st := range states {
+		if len(st.Tables) != numTables {
 			return nil, MergeStats{}, fmt.Errorf("collective: rank %d has %d tables, want %d",
-				r, len(st), numTables)
+				st.Rank, len(st.Tables), numTables)
+		}
+		if seenRanks[st.Rank] {
+			return nil, MergeStats{}, fmt.Errorf("collective: duplicate rank id %d", st.Rank)
+		}
+		seenRanks[st.Rank] = true
+		if st.Rank > states[top].Rank {
+			top = i
 		}
 	}
 	stats := MergeStats{Participants: len(states)}
 	for _, st := range states {
-		stats.PayloadBytes += lora.PayloadBytes(st)
+		stats.PayloadBytes += lora.PayloadBytes(st.Tables)
 	}
 
+	type contribution struct {
+		rank int
+		u    lora.RowUpdate
+	}
 	merged := make([]lora.TableState, numTables)
 	for t := 0; t < numTables; t++ {
-		winner := make(map[int32]lora.RowUpdate)
+		winner := make(map[int32]contribution)
 		seen := make(map[int32]int)
-		// Ranks are visited in ascending order; later (higher) ranks
-		// overwrite: k = max{r | i ∈ S_r}.
-		for r := 0; r < len(states); r++ {
-			for _, u := range states[r][t].Rows {
-				if _, dup := winner[u.ID]; dup {
+		for _, st := range states {
+			for _, u := range st.Tables[t].Rows {
+				if prev, dup := winner[u.ID]; dup {
 					if seen[u.ID] == 1 {
 						stats.Conflicts++ // count each conflicting id once
 					}
 					seen[u.ID]++
+					// k = max{r | i ∈ S_r}: keep the higher rank regardless
+					// of input ordering.
+					if st.Rank < prev.rank {
+						continue
+					}
 				} else {
 					seen[u.ID] = 1
 				}
-				winner[u.ID] = u
+				winner[u.ID] = contribution{rank: st.Rank, u: u}
 			}
 		}
 		rows := make([]lora.RowUpdate, 0, len(winner))
-		for _, u := range winner {
-			rows = append(rows, u)
+		for _, c := range winner {
+			rows = append(rows, c.u)
 		}
 		sortRowUpdates(rows)
 		stats.RowsMerged += len(rows)
 
-		// B: highest rank that reported a state wins (all ranks report, so
-		// this is simply the last rank's B — deterministic across replicas).
-		last := states[len(states)-1][t]
-		merged[t] = lora.TableState{Rows: rows, B: last.B, Rank: last.Rank}
+		// B: the highest participating rank's factor wins — deterministic
+		// across replicas and across input orderings.
+		best := states[top].Tables[t]
+		merged[t] = lora.TableState{Rows: rows, B: best.B, Rank: best.Rank}
 	}
 	return merged, stats, nil
 }
@@ -171,54 +241,189 @@ func sortRowUpdates(rows []lora.RowUpdate) {
 // factors. Deployments coordinate rank changes out of band (e.g. with the
 // hourly full sync); replicas here should either disable local rank
 // adaptation or adapt in lockstep.
+//
+// Accounting methods (Stats, GroupStats) and the cumulative counters are
+// guarded by an internal mutex so the asynchronous pipeline can fold results
+// in from a background goroutine while reporting code reads totals.
 type SyncGroup struct {
 	Replicas []*lora.Set
 
 	BandwidthBps float64
 	LatencySec   float64
 
-	syncs      int
-	totalBytes int64
-	totalTime  float64
+	mu    sync.Mutex
+	stats GroupStats
 }
+
+// GroupStats is a SyncGroup's cumulative accounting across syncs.
+type GroupStats struct {
+	// Syncs is the number of completed priority-merge synchronizations.
+	Syncs int
+	// PayloadBytes is Σ over syncs of that sync's MergeStats.PayloadBytes:
+	// every rank's exported payload counted exactly once per sync. This is
+	// the application-level sync volume.
+	PayloadBytes int64
+	// WireBytes is the traffic the simulated collective actually moves:
+	// recursive-doubling AllGather rounds (on the largest per-rank payload,
+	// matching the cost model of AllGatherTime) plus the binomial-tree
+	// broadcast of the merged state. It is what the fabric bills for, and is
+	// strictly larger than PayloadBytes for more than one replica.
+	WireBytes int64
+	// ComputeSeconds is the virtual time spent gathering and merging —
+	// the phase the asynchronous pipeline moves off the serving critical
+	// path. PublishSeconds is the virtual time broadcasting and installing
+	// the merged state. Their sum is the total sync cost.
+	ComputeSeconds float64
+	PublishSeconds float64
+}
+
+// Seconds returns the total virtual sync time (compute + publish).
+func (g GroupStats) Seconds() float64 { return g.ComputeSeconds + g.PublishSeconds }
 
 // NewSyncGroup wraps the replica sets with uniform link parameters.
 func NewSyncGroup(replicas []*lora.Set, bandwidthBps, latencySec float64) *SyncGroup {
 	return &SyncGroup{Replicas: replicas, BandwidthBps: bandwidthBps, LatencySec: latencySec}
 }
 
-// Sync exports all replicas' supports, priority-merges them, applies the
-// merged state everywhere, resets supports, and advances the clock by the
-// AllGather + broadcast cost. It returns the merge statistics.
+// Sync is the synchronous (barrier) protocol: it snapshots all replicas'
+// supports, priority-merges them, publishes the merged state everywhere, and
+// advances the clock by the AllGather + broadcast cost. Callers must have
+// quiesced every replica (it is the stop-the-world path). It returns the
+// merge statistics.
 func (sg *SyncGroup) Sync(c *simnet.Clock) (MergeStats, error) {
 	states := make([][]lora.TableState, len(sg.Replicas))
-	var maxPayload int64
 	for i, r := range sg.Replicas {
-		states[i] = r.ExportState()
-		if p := lora.PayloadBytes(states[i]); p > maxPayload {
+		states[i] = r.Snapshot()
+	}
+	merged, stats, cost, err := sg.merge(states)
+	if err != nil {
+		return stats, err
+	}
+	epoch := sg.commit(cost, stats, c)
+	for _, r := range sg.Replicas {
+		r.Publish(merged, epoch)
+	}
+	return stats, nil
+}
+
+// syncCost is one sync's wire/time bill, derived from the snapshots and the
+// merged result.
+type syncCost struct {
+	computeSeconds float64
+	publishSeconds float64
+	wireBytes      int64
+}
+
+// merge runs the priority merge and prices the collective: AllGather on the
+// largest per-rank payload (compute phase) plus a broadcast of the merged
+// state (publish phase). It does not touch the replicas, the clock, or the
+// cumulative stats, so it is safe to run on a background goroutine.
+func (sg *SyncGroup) merge(states [][]lora.TableState) ([]lora.TableState, MergeStats, syncCost, error) {
+	var maxPayload int64
+	for _, st := range states {
+		if p := lora.PayloadBytes(st); p > maxPayload {
 			maxPayload = p
 		}
 	}
 	merged, stats, err := PriorityMerge(states)
 	if err != nil {
-		return stats, err
+		return nil, stats, syncCost{}, err
 	}
-	for _, r := range sg.Replicas {
-		r.ApplyState(merged)
-		r.ResetSupports()
+	n := len(states)
+	mergedPayload := lora.PayloadBytes(merged)
+	cost := syncCost{
+		computeSeconds: AllGatherTime(n, maxPayload, sg.BandwidthBps, sg.LatencySec),
+		publishSeconds: BroadcastTime(n, mergedPayload, sg.BandwidthBps, sg.LatencySec),
+		wireBytes:      AllGatherBytes(n, maxPayload) + BroadcastBytes(n, mergedPayload),
 	}
-	elapsed := AllGatherTime(len(sg.Replicas), maxPayload, sg.BandwidthBps, sg.LatencySec) +
-		BroadcastTime(len(sg.Replicas), lora.PayloadBytes(merged), sg.BandwidthBps, sg.LatencySec)
-	if c != nil {
-		c.Advance(elapsed)
-	}
-	sg.syncs++
-	sg.totalBytes += stats.PayloadBytes
-	sg.totalTime += elapsed
-	return stats, nil
+	return merged, stats, cost, nil
 }
 
-// Stats returns cumulative sync count, bytes, and virtual seconds spent.
+// commit charges one sync's cost to the clock and folds it into the
+// cumulative stats, returning the sync generation for version stamping.
+func (sg *SyncGroup) commit(cost syncCost, stats MergeStats, c *simnet.Clock) int64 {
+	if c != nil {
+		c.Advance(cost.computeSeconds + cost.publishSeconds)
+	}
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	sg.stats.Syncs++
+	sg.stats.PayloadBytes += stats.PayloadBytes
+	sg.stats.WireBytes += cost.wireBytes
+	sg.stats.ComputeSeconds += cost.computeSeconds
+	sg.stats.PublishSeconds += cost.publishSeconds
+	return int64(sg.stats.Syncs)
+}
+
+// Stats returns the cumulative sync count, the cumulative per-sync payload
+// totals (each rank's exported payload counted once per sync — the same
+// quantity MergeStats.PayloadBytes reports per sync), and the total virtual
+// seconds spent syncing. For the simulated wire traffic and the
+// compute/publish split, use GroupStats.
 func (sg *SyncGroup) Stats() (syncs int, bytes int64, seconds float64) {
-	return sg.syncs, sg.totalBytes, sg.totalTime
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	return sg.stats.Syncs, sg.stats.PayloadBytes, sg.stats.Seconds()
+}
+
+// GroupStats returns the full cumulative accounting.
+func (sg *SyncGroup) GroupStats() GroupStats {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	return sg.stats
+}
+
+// PendingMerge is one in-flight asynchronous priority merge: the snapshot
+// has been taken, the merge and its collective pricing run on a background
+// goroutine, and the merged state is staged until Finish publishes its cost.
+type PendingMerge struct {
+	done chan struct{}
+
+	merged []lora.TableState
+	stats  MergeStats
+	cost   syncCost
+	err    error
+}
+
+// AsyncSyncGroup is the pipelined half of the update path: Begin stages a
+// merge over pre-taken snapshots without blocking the caller, and Finish
+// waits for it, charges the simulated collective cost to the sync clock, and
+// hands back the merged state for per-replica publication. Snapshotting and
+// publication stay with the caller (a cluster locks each replica
+// individually around those two steps), so no fleet-wide barrier is needed
+// anywhere in the pipeline.
+type AsyncSyncGroup struct {
+	Group *SyncGroup
+}
+
+// NewAsyncSyncGroup wraps a SyncGroup for pipelined use. The two views share
+// replicas, link parameters, and cumulative accounting.
+func NewAsyncSyncGroup(sg *SyncGroup) *AsyncSyncGroup {
+	return &AsyncSyncGroup{Group: sg}
+}
+
+// Begin starts the background merge of the given per-rank snapshots (index =
+// rank id) and returns immediately. The snapshots must not be mutated after
+// the call — lora.Set.Snapshot's deep copies satisfy that by construction.
+func (ag *AsyncSyncGroup) Begin(states [][]lora.TableState) *PendingMerge {
+	p := &PendingMerge{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.merged, p.stats, p.cost, p.err = ag.Group.merge(states)
+	}()
+	return p
+}
+
+// Finish blocks until the pending merge completes, charges its simulated
+// AllGather + broadcast cost to the sync clock, folds the accounting into
+// the group totals, and returns the staged merged state together with the
+// sync generation to stamp on the published versions. Serving never waits
+// here: Finish is called from the pipeline's own goroutine.
+func (ag *AsyncSyncGroup) Finish(p *PendingMerge, c *simnet.Clock) ([]lora.TableState, MergeStats, int64, error) {
+	<-p.done
+	if p.err != nil {
+		return nil, p.stats, 0, p.err
+	}
+	epoch := ag.Group.commit(p.cost, p.stats, c)
+	return p.merged, p.stats, epoch, nil
 }

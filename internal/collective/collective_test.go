@@ -152,6 +152,242 @@ func TestPriorityMergeMaxRankWins(t *testing.T) {
 	}
 }
 
+// TestPriorityMergeOrderInvariant is the regression test for conflict
+// resolution depending on input position: the merged TableState (rows AND
+// the adopted B factor) must be bit-identical for any permutation of the
+// replica states, because priority is the rank id, not the slice index.
+func TestPriorityMergeOrderInvariant(t *testing.T) {
+	replicas := makeReplicas(3)
+	// Conflicts on (0,7) between ranks 0 and 2, on (1,3) between ranks 1 and
+	// 2, plus rank-unique rows.
+	trainOn(replicas[0], 0, 7, 100)
+	trainOn(replicas[2], 0, 7, 200)
+	trainOn(replicas[1], 1, 3, 300)
+	trainOn(replicas[2], 1, 3, 400)
+	trainOn(replicas[0], 0, 11, 500)
+	trainOn(replicas[1], 0, 12, 600)
+
+	ranked := make([]RankedState, 3)
+	for r := range ranked {
+		ranked[r] = RankedState{Rank: r, Tables: replicas[r].ExportState()}
+	}
+	ref, refStats, err := PriorityMergeRanked(append([]RankedState(nil), ranked...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		in := make([]RankedState, len(perm))
+		for i, p := range perm {
+			in[i] = ranked[p]
+		}
+		got, stats, err := PriorityMergeRanked(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats != refStats {
+			t.Fatalf("perm %v: stats %+v, want %+v", perm, stats, refStats)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("perm %v: %d tables, want %d", perm, len(got), len(ref))
+		}
+		for ti := range ref {
+			if len(got[ti].Rows) != len(ref[ti].Rows) {
+				t.Fatalf("perm %v table %d: %d rows, want %d", perm, ti, len(got[ti].Rows), len(ref[ti].Rows))
+			}
+			for ri, u := range ref[ti].Rows {
+				g := got[ti].Rows[ri]
+				if g.ID != u.ID {
+					t.Fatalf("perm %v table %d row %d: id %d, want %d", perm, ti, ri, g.ID, u.ID)
+				}
+				for k := range u.Row {
+					if g.Row[k] != u.Row[k] {
+						t.Fatalf("perm %v table %d id %d: winner differs by input order", perm, ti, u.ID)
+					}
+				}
+			}
+			if got[ti].Rank != ref[ti].Rank {
+				t.Fatalf("perm %v table %d: B rank %d, want %d", perm, ti, got[ti].Rank, ref[ti].Rank)
+			}
+			for i := range ref[ti].B.Data {
+				if got[ti].B.Data[i] != ref[ti].B.Data[i] {
+					t.Fatalf("perm %v table %d: adopted B differs by input order", perm, ti)
+				}
+			}
+		}
+	}
+	// PriorityMerge (index = rank) must agree with the ranked form.
+	states := make([][]lora.TableState, 3)
+	for r := range states {
+		states[r] = ranked[r].Tables
+	}
+	viaIndex, idxStats, err := PriorityMerge(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idxStats != refStats || len(viaIndex) != len(ref) {
+		t.Fatalf("PriorityMerge disagrees with PriorityMergeRanked: %+v vs %+v", idxStats, refStats)
+	}
+	// Duplicate rank ids are ambiguous priorities and must be rejected.
+	if _, _, err := PriorityMergeRanked([]RankedState{
+		{Rank: 1, Tables: ranked[0].Tables},
+		{Rank: 1, Tables: ranked[1].Tables},
+	}); err == nil {
+		t.Fatal("duplicate ranks must error")
+	}
+}
+
+// TestSyncGroupByteAccounting is the regression test for the payload/wire
+// accounting mismatch: MergeStats.PayloadBytes counts each rank's export
+// exactly once per sync, SyncGroup.Stats accumulates exactly those per-sync
+// totals, and GroupStats.WireBytes bills the simulated collective
+// (recursive-doubling AllGather on the max per-rank payload plus the
+// broadcast of the merged state).
+func TestSyncGroupByteAccounting(t *testing.T) {
+	replicas := makeReplicas(4)
+	trainOn(replicas[0], 0, 5, 1)
+	trainOn(replicas[1], 0, 9, 2)
+	trainOn(replicas[2], 1, 3, 3)
+
+	states := make([][]lora.TableState, len(replicas))
+	var wantPayload, maxPayload int64
+	for i, r := range replicas {
+		states[i] = r.ExportState()
+		p := lora.PayloadBytes(states[i])
+		wantPayload += p
+		if p > maxPayload {
+			maxPayload = p
+		}
+	}
+	merged, stats, err := PriorityMerge(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PayloadBytes != wantPayload {
+		t.Fatalf("MergeStats.PayloadBytes = %d, want Σ per-rank exports %d", stats.PayloadBytes, wantPayload)
+	}
+
+	sg := NewSyncGroup(replicas, simnet.Gbps100, 0.001)
+	if _, err := sg.Sync(simnet.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	syncs, bytes, secs := sg.Stats()
+	if syncs != 1 || bytes != wantPayload {
+		t.Fatalf("Stats() = (%d, %d), want (1, %d): cumulative bytes must be per-sync payload totals", syncs, bytes, wantPayload)
+	}
+	gs := sg.GroupStats()
+	wantWire := AllGatherBytes(4, maxPayload) + BroadcastBytes(4, lora.PayloadBytes(merged))
+	if gs.WireBytes != wantWire {
+		t.Fatalf("WireBytes = %d, want %d (allgather %d + broadcast %d)",
+			gs.WireBytes, wantWire, AllGatherBytes(4, maxPayload), BroadcastBytes(4, lora.PayloadBytes(merged)))
+	}
+	if gs.WireBytes <= gs.PayloadBytes {
+		t.Fatal("simulated wire traffic must exceed the application payload for 4 replicas")
+	}
+	if gs.ComputeSeconds <= 0 || gs.PublishSeconds <= 0 {
+		t.Fatalf("cost split missing: %+v", gs)
+	}
+	if math.Abs(secs-gs.Seconds()) > 1e-15 {
+		t.Fatalf("Stats seconds %v != GroupStats total %v", secs, gs.Seconds())
+	}
+	// A second sync accumulates on top (supports were reset, so only B moves).
+	if _, err := sg.Sync(simnet.NewClock()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sg.GroupStats(); got.Syncs != 2 || got.PayloadBytes <= gs.PayloadBytes {
+		t.Fatalf("second sync must accumulate: %+v after %+v", got, gs)
+	}
+}
+
+func TestAllGatherAndBroadcastBytes(t *testing.T) {
+	if AllGatherBytes(1, 1000) != 0 || BroadcastBytes(1, 1000) != 0 {
+		t.Fatal("single node moves nothing")
+	}
+	// n=4: 2 rounds, per-node blocks 1000 then 2000 → 4·3000 total; matches
+	// the traffic AllGatherOnNetwork actually generates (see its test).
+	if got := AllGatherBytes(4, 1000); got != 12000 {
+		t.Fatalf("AllGatherBytes(4, 1000) = %d, want 12000", got)
+	}
+	if got := BroadcastBytes(8, 1000); got != 7000 {
+		t.Fatalf("BroadcastBytes(8, 1000) = %d, want 7000", got)
+	}
+}
+
+// TestAsyncSyncGroupMatchesSync verifies the pipelined protocol is the same
+// merge, the same cost, and the same accounting as the barrier Sync — only
+// staged: Begin runs the merge in the background over pre-taken snapshots,
+// Finish charges the clock and returns the staged state for publication.
+func TestAsyncSyncGroupMatchesSync(t *testing.T) {
+	mkTrained := func() []*lora.Set {
+		replicas := makeReplicas(3)
+		trainOn(replicas[0], 0, 5, 1)
+		trainOn(replicas[1], 0, 5, 2)
+		trainOn(replicas[2], 1, 9, 3)
+		return replicas
+	}
+
+	barrier := mkTrained()
+	bsg := NewSyncGroup(barrier, simnet.Gbps100, 0.001)
+	bclock := simnet.NewClock()
+	bstats, err := bsg.Sync(bclock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipelined := mkTrained()
+	asg := NewAsyncSyncGroup(NewSyncGroup(pipelined, simnet.Gbps100, 0.001))
+	aclock := simnet.NewClock()
+	states := make([][]lora.TableState, len(pipelined))
+	for i, r := range pipelined {
+		states[i] = r.Snapshot()
+	}
+	merged, astats, epoch, err := asg.Finish(asg.Begin(states), aclock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pipelined {
+		r.Publish(merged, epoch)
+	}
+
+	if astats != bstats {
+		t.Fatalf("async merge stats %+v differ from barrier %+v", astats, bstats)
+	}
+	if aclock.Now() != bclock.Now() {
+		t.Fatalf("async clock charge %v differs from barrier %v", aclock.Now(), bclock.Now())
+	}
+	if asg.Group.GroupStats() != bsg.GroupStats() {
+		t.Fatalf("async accounting %+v differs from barrier %+v", asg.Group.GroupStats(), bsg.GroupStats())
+	}
+	if epoch != 1 {
+		t.Fatalf("first sync generation = %d, want 1", epoch)
+	}
+	// Replica consistency and version stamping after the async publish.
+	ref := make([]float64, 8)
+	got := make([]float64, 8)
+	for _, q := range []struct {
+		table int
+		id    int32
+	}{{0, 5}, {1, 9}} {
+		pipelined[0].EffectiveRow(q.table, q.id, ref)
+		for r := 1; r < len(pipelined); r++ {
+			pipelined[r].EffectiveRow(q.table, q.id, got)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("replica %d diverges on table %d id %d after async publish", r, q.table, q.id)
+				}
+			}
+		}
+	}
+	for i, r := range pipelined {
+		if r.Epoch() != epoch {
+			t.Fatalf("replica %d epoch %d, want %d", i, r.Epoch(), epoch)
+		}
+		if v := r.Published(); v == nil || len(v.Tables) != 2 {
+			t.Fatalf("replica %d published version malformed", i)
+		}
+	}
+}
+
 func TestPriorityMergeErrors(t *testing.T) {
 	if _, _, err := PriorityMerge(nil); err == nil {
 		t.Fatal("empty merge must error")

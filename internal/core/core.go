@@ -88,6 +88,12 @@ func (o Options) Validate() error {
 // serialize on an internal per-node mutex, so a fleet can serve independent
 // replicas from independent goroutines while any one replica processes one
 // request at a time (the single-server model the virtual clock assumes).
+// The mutex is pure request serialization, not an update barrier: Serve's
+// embedding lookups read the LoRA adapters through their copy-on-write
+// atomic state (see internal/lora), so a fleet-level merge publishing fresh
+// adapter values (PublishLoRA) never holds this lock across the merge — only
+// across the O(rows) snapshot/install — and a request never observes a
+// half-published mix of old and new factors.
 // The exported fields are wiring for experiments and tests; touching them
 // while another goroutine is inside Serve is not synchronized.
 type System struct {
@@ -202,10 +208,16 @@ type Stats struct {
 	VirtualTime       float64 // node clock, seconds (fleet: max across replicas)
 
 	// Fleet-level fields, populated by Cluster.
-	Replicas    []Stats // per-replica snapshots, in replica order
-	Syncs       int     // priority-merge synchronizations performed
-	SyncBytes   int64   // cumulative exported LoRA payload moved
-	SyncSeconds float64 // cumulative virtual time spent in syncs
+	Replicas  []Stats // per-replica snapshots, in replica order
+	Syncs     int     // priority-merge synchronizations performed
+	SyncBytes int64   // cumulative exported LoRA payload (once per rank per sync)
+	// SyncSeconds is the cumulative virtual time spent in syncs; it splits
+	// into SyncComputeSeconds (gather + merge — off the serving critical
+	// path under the asynchronous pipeline) and SyncPublishSeconds
+	// (broadcasting and installing the merged state).
+	SyncSeconds        float64
+	SyncComputeSeconds float64
+	SyncPublishSeconds float64
 }
 
 // Serve processes one request through the serving path, interleaving
@@ -285,6 +297,43 @@ func (s *System) LoRARank() int {
 	defer s.mu.Unlock()
 	return s.LoRA.Adapters[0].Rank()
 }
+
+// SnapshotLoRA freezes the replica just long enough to export its modified
+// adapter rows (clearing the supports, so training that lands while a merge
+// is in flight feeds the next sync epoch) and returns the copy-on-write
+// snapshot. This is the per-replica gather step of the asynchronous update
+// pipeline: the node lock is held only for the O(modified rows) export,
+// never across the merge itself.
+func (s *System) SnapshotLoRA() []lora.TableState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.LoRA.Snapshot()
+}
+
+// PublishLoRA installs a merged adapter state stamped with the publisher's
+// epoch. Each table swaps in atomically (copy-on-write), so the node lock is
+// held only for the O(rows) install — the per-replica publish step of the
+// asynchronous update pipeline. Serve calls in flight on OTHER replicas are
+// unaffected; a concurrent Serve on this replica waits only for the install,
+// not for the merge that produced it.
+func (s *System) PublishLoRA(state []lora.TableState, epoch int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.LoRA.Publish(state, epoch)
+}
+
+// AdapterEpoch returns the epoch of the node's last published adapter state
+// (-1 before the first sync). It reads the Set's atomic version pointer, so
+// callers — reporting loops, freshness probes — never take the node lock and
+// never block behind an in-flight request or merge.
+func (s *System) AdapterEpoch() int64 { return s.LoRA.Epoch() }
+
+// AdapterVersion returns the node's last published adapter Version (nil
+// before the first sync), lock-free. The returned value is immutable: Serve
+// and the trainer read the same tables through the adapters' own atomic
+// state, so a caller can inspect a consistent published snapshot while the
+// node keeps serving.
+func (s *System) AdapterVersion() *lora.Version { return s.LoRA.Published() }
 
 // TrainTick runs one co-located training step: a mini-batch sampled from the
 // inference ring buffer, every embedding access charged to the machine model

@@ -114,6 +114,16 @@ type Report struct {
 	VirtualTime float64 // server's virtual clock after the drive, seconds
 	VirtualQPS  float64 // Served / VirtualTime (simulated throughput)
 
+	// SyncStallSeconds is the virtual time the fleet spent in priority-merge
+	// syncs during the drive (zero for a single System), split into the
+	// compute phase (snapshot gather + merge — runs off the serving critical
+	// path under the asynchronous pipeline) and the publish phase
+	// (broadcasting and installing the merged state). In barrier mode the
+	// whole stall sits between requests; in async mode serving overlaps it.
+	SyncStallSeconds   float64
+	SyncComputeSeconds float64
+	SyncPublishSeconds float64
+
 	Cancelled bool // context cancelled before all requests were served
 
 	PerWorker []WorkerStats // per-worker breakdown, in worker order
@@ -309,5 +319,8 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 	if rep.VirtualTime > 0 {
 		rep.VirtualQPS = float64(rep.Served) / rep.VirtualTime
 	}
+	rep.SyncStallSeconds = rep.Final.SyncSeconds
+	rep.SyncComputeSeconds = rep.Final.SyncComputeSeconds
+	rep.SyncPublishSeconds = rep.Final.SyncPublishSeconds
 	return rep, driveErr
 }

@@ -26,7 +26,17 @@ func testProfile(t testing.TB) trace.Profile {
 	return p
 }
 
+// testCluster builds a fleet in barrier mode: the stop-the-world protocol
+// additionally freezes WHICH training lands before each merge, so the
+// legacy determinism tests below can compare full per-replica stats —
+// adapter content included — across runs and worker counts. Async-mode
+// guarantees (the virtual-time subset only) are covered separately by
+// TestDriveAsyncVirtualTimeInvariance.
 func testCluster(t testing.TB, replicas int, policy cluster.Policy) *cluster.Cluster {
+	return testClusterMode(t, replicas, policy, cluster.SyncBarrier)
+}
+
+func testClusterMode(t testing.TB, replicas int, policy cluster.Policy, mode cluster.SyncMode) *cluster.Cluster {
 	t.Helper()
 	opts := core.DefaultOptions(testProfile(t), 42)
 	opts.TrainInterval = 4
@@ -39,6 +49,7 @@ func testCluster(t testing.TB, replicas int, policy cluster.Policy) *cluster.Clu
 		Replicas:  replicas,
 		Router:    r,
 		SyncEvery: 2e9, // 2 virtual seconds; several epochs per drive
+		Mode:      mode,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -104,6 +115,67 @@ func TestDriveWorkerCountInvariance(t *testing.T) {
 				t.Fatalf("%s: virtual-time stats differ between 1 and 8 workers:\n  1: %+v\n  8: %+v",
 					policy, want, got)
 			}
+		}
+	}
+}
+
+// virtualKey projects the fields async mode guarantees deterministic for
+// any worker count: everything derived from virtual time, per replica
+// included, but not adapter-content fields (hot-row counts, memory
+// overhead), which depend on when each background merge publishes.
+type virtualKey struct {
+	served, violations, trainSteps uint64
+	syncs                          int
+	virtualTime, p50, p99          float64
+	perReplica                     [][5]float64
+}
+
+func virtualKeyOf(st core.Stats) virtualKey {
+	k := virtualKey{
+		served:      st.Served,
+		violations:  st.Violations,
+		trainSteps:  st.TrainSteps,
+		syncs:       st.Syncs,
+		virtualTime: st.VirtualTime,
+		p50:         st.P50,
+		p99:         st.P99,
+	}
+	for _, rs := range st.Replicas {
+		k.perReplica = append(k.perReplica, [5]float64{
+			float64(rs.Served), float64(rs.Violations), float64(rs.TrainSteps),
+			rs.VirtualTime, rs.P99,
+		})
+	}
+	return k
+}
+
+// TestDriveAsyncVirtualTimeInvariance is the async pipeline's determinism
+// contract under the driver: with background merges publishing at arbitrary
+// wall-clock points, every virtual-time statistic — fleet and per-replica —
+// is still identical for 1 vs 8 workers and across repeated runs.
+func TestDriveAsyncVirtualTimeInvariance(t *testing.T) {
+	run := func(workers int) virtualKey {
+		c := testClusterMode(t, 4, cluster.Hash, cluster.SyncAsync)
+		gen := trace.MustNewGenerator(testProfile(t), 7)
+		rep, err := Drive(context.Background(), c, gen.Next, Config{
+			Requests: 3000, Workers: workers, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.SyncStallSeconds != rep.SyncComputeSeconds+rep.SyncPublishSeconds {
+			t.Fatalf("workers=%d: sync stall split inconsistent: %v != %v + %v",
+				workers, rep.SyncStallSeconds, rep.SyncComputeSeconds, rep.SyncPublishSeconds)
+		}
+		return virtualKeyOf(rep.Final)
+	}
+	want := run(1)
+	if want.syncs == 0 {
+		t.Fatalf("no periodic syncs fired: %+v", want)
+	}
+	for _, workers := range []int{1, 8} {
+		if got := run(workers); fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Fatalf("async virtual-time stats vary (workers=%d):\n  want %+v\n  got  %+v", workers, want, got)
 		}
 	}
 }

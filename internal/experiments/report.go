@@ -63,6 +63,10 @@ func (r Report) String() string {
 type Options struct {
 	Seed  uint64
 	Quick bool // reduced sample counts for tests/benchmarks
+
+	// SyncMode restricts fleet-serving experiments (syncpipe) to one sync
+	// propagation mode ("async" or "barrier"); empty runs their default set.
+	SyncMode string
 }
 
 // Runner executes one experiment.
@@ -89,6 +93,9 @@ func Registry() map[string]Runner {
 		"fig19":  Fig19,
 		"table2": Table2,
 		"table3": Table3,
+
+		// Beyond the paper: serving-stack experiments.
+		"syncpipe": Syncpipe,
 	}
 }
 
@@ -97,7 +104,7 @@ func IDs() []string {
 	return []string{
 		"table2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig14", "table3", "fig15", "fig16",
-		"fig17", "fig18", "fig19",
+		"fig17", "fig18", "fig19", "syncpipe",
 	}
 }
 

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"liveupdate/internal/cluster"
+	"liveupdate/internal/core"
+	"liveupdate/internal/driver"
+	"liveupdate/internal/trace"
+)
+
+// Syncpipe quantifies the serving cost of periodic priority-merge syncs
+// under the two propagation protocols: the legacy stop-the-world barrier and
+// the versioned asynchronous pipeline (snapshot → background merge → atomic
+// per-replica publish). A 4-replica hash-routed fleet is driven by 8 client
+// goroutines with a fast sync cadence; virtual-time columns (served, syncs,
+// the compute/publish split of the sync bill) are deterministic per mode,
+// while the wall-clock QPS column shows what the pipeline buys when merges
+// no longer gate serving. Options.SyncMode restricts the run to one mode
+// (the -sync-mode flag of cmd/liveupdate-bench); empty means both.
+func Syncpipe(o Options) (Report, error) {
+	modes := []cluster.SyncMode{cluster.SyncBarrier, cluster.SyncAsync}
+	if o.SyncMode != "" {
+		m, err := cluster.ParseSyncMode(o.SyncMode)
+		if err != nil {
+			return Report{}, err
+		}
+		modes = []cluster.SyncMode{m}
+	}
+	requests := 20000
+	if o.Quick {
+		requests = 3000
+	}
+	p, err := trace.ProfileByName("criteo")
+	if err != nil {
+		return Report{}, err
+	}
+	p.NumTables = 4
+	p.TableSize = 1000
+	p.NumDense = 8
+	p.MultiHot = []int{1, 1, 1, 2}
+
+	rep := Report{
+		ID:     "syncpipe",
+		Title:  "Serve throughput and sync stall: barrier vs async propagation",
+		Header: []string{"mode", "served", "syncs", "syncCompute(s)", "syncPublish(s)", "virtTime(s)", "wallQPS"},
+		Notes: []string{
+			"served, syncs, and virtTime are deterministic per mode for any worker count; the sync-cost columns depend on payload sizes and may vary run to run (snapshot-content nondeterminism)",
+			"wallQPS is measured wall-clock throughput: in async mode the merge compute column overlaps serving instead of gating it",
+		},
+	}
+	for _, mode := range modes {
+		opts := core.DefaultOptions(p, o.Seed)
+		opts.TrainInterval = 4
+		fleet, err := cluster.New(cluster.Config{
+			Base:      opts,
+			Replicas:  4,
+			Router:    mustRouter(cluster.Hash),
+			SyncEvery: 500 * time.Millisecond,
+			Mode:      mode,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		gen, err := trace.NewGenerator(p, o.Seed^0x51)
+		if err != nil {
+			return Report{}, err
+		}
+		dr, err := driver.Drive(context.Background(), fleet, gen.Next, driver.Config{
+			Requests: requests,
+			Workers:  8,
+			Seed:     o.Seed,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("syncpipe %s: %w", mode, err)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			string(mode),
+			fmt.Sprintf("%d", dr.Served),
+			fmt.Sprintf("%d", dr.Final.Syncs),
+			f4(dr.SyncComputeSeconds),
+			f4(dr.SyncPublishSeconds),
+			f2(dr.VirtualTime),
+			fmt.Sprintf("%.0f", dr.QPS),
+		})
+	}
+	return rep, nil
+}
+
+func mustRouter(p cluster.Policy) cluster.Router {
+	r, err := cluster.NewRouter(p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -3,12 +3,29 @@
 // mechanisms of §IV-C — variance-aware dynamic rank adaptation and
 // usage-based table pruning (Algorithm 1) — plus merge/export primitives for
 // the cross-node sync protocol (Algorithm 3).
+//
+// # Concurrency model
+//
+// An Adapter keeps its published factors (rank, A rows, shared B) behind one
+// atomic pointer to an immutable-by-readers state record. Two classes of
+// callers exist:
+//
+//   - The owner (the training/serving loop, serialized by core.System's
+//     mutex) may call anything. Train mutates the current state in place —
+//     it is NOT safe concurrently with readers.
+//   - The publish path — ApplyRows, SetB, Resize, Reset, and Set.Publish —
+//     builds a fresh state copy and swaps the pointer in one atomic store.
+//     Lock-free readers (Lookup, Accumulate, Delta, Has, EffectiveRow,
+//     ExportSupport's row reads) therefore observe either the old or the new
+//     state, never a torn mix, and never block on an in-flight merge. This is
+//     the copy-on-write half of the asynchronous update pipeline.
 package lora
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"liveupdate/internal/tensor"
 )
@@ -77,15 +94,26 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Adapter is the LoRA table for one embedding table: sparse rows A[i] ∈ R^k
-// for active indices plus a shared dense factor B ∈ R^{k×d}.
-type Adapter struct {
-	cfg  Config
+// adapterState is the published factor state: the LoRA rank, the shared
+// dense factor B (rank×dim), and the sparse A rows for active ids. Publish
+// operations replace the whole record behind the Adapter's atomic pointer;
+// readers load it once per call and see a consistent snapshot.
+type adapterState struct {
 	rank int
 	b    *tensor.Matrix      // rank×dim
 	rows map[int32][]float64 // A rows for active ids
-	freq map[int32]int       // per-id update count in the current window
-	supp map[int32]struct{}  // ids updated since last ResetSupport (Alg. 3)
+}
+
+// Adapter is the LoRA table for one embedding table: sparse rows A[i] ∈ R^k
+// for active indices plus a shared dense factor B ∈ R^{k×d}. See the package
+// comment for which operations are safe without the owner's serialization.
+type Adapter struct {
+	cfg Config
+	cur atomic.Pointer[adapterState]
+
+	// Owner-only bookkeeping (training statistics, adaptation windows).
+	freq map[int32]int      // per-id update count in the current window
+	supp map[int32]struct{} // ids updated since last ResetSupport (Alg. 3)
 
 	iter      int
 	gradBuf   *tensor.Matrix // ring of recent pooled gradients (GradWindow×dim)
@@ -109,16 +137,19 @@ func NewAdapter(cfg Config) (*Adapter, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Adapter{
+	a := &Adapter{
 		cfg:     cfg,
-		rank:    cfg.InitialRank,
-		b:       tensor.NewMatrix(cfg.InitialRank, cfg.Dim),
-		rows:    make(map[int32][]float64),
 		freq:    make(map[int32]int),
 		supp:    make(map[int32]struct{}),
 		gradBuf: tensor.NewMatrix(cfg.GradWindow, cfg.Dim),
 		rng:     tensor.NewRNG(cfg.Seed ^ 0x10ad0ada),
-	}, nil
+	}
+	a.cur.Store(&adapterState{
+		rank: cfg.InitialRank,
+		b:    tensor.NewMatrix(cfg.InitialRank, cfg.Dim),
+		rows: make(map[int32][]float64),
+	})
+	return a, nil
 }
 
 // MustNewAdapter panics on config errors; for tests and examples.
@@ -131,15 +162,15 @@ func MustNewAdapter(cfg Config) *Adapter {
 }
 
 // Rank returns the current LoRA rank k.
-func (a *Adapter) Rank() int { return a.rank }
+func (a *Adapter) Rank() int { return a.cur.Load().rank }
 
 // ActiveCount returns the number of ids holding a LoRA row.
-func (a *Adapter) ActiveCount() int { return len(a.rows) }
+func (a *Adapter) ActiveCount() int { return len(a.cur.Load().rows) }
 
 // Has reports whether id has a LoRA row — the serving path's Hot Index
 // Filter check (paper Fig 7 step 2).
 func (a *Adapter) Has(id int32) bool {
-	_, ok := a.rows[id]
+	_, ok := a.cur.Load().rows[id]
 	return ok
 }
 
@@ -155,7 +186,8 @@ func (a *Adapter) Delta(id int32, dst []float64) {
 	for i := range dst {
 		dst[i] = 0
 	}
-	row, ok := a.rows[id]
+	st := a.cur.Load()
+	row, ok := st.rows[id]
 	if !ok {
 		return
 	}
@@ -163,13 +195,14 @@ func (a *Adapter) Delta(id int32, dst []float64) {
 		if av == 0 {
 			continue
 		}
-		tensor.Axpy(av, a.b.Row(k), dst)
+		tensor.Axpy(av, st.b.Row(k), dst)
 	}
 }
 
 // Accumulate adds the id's LoRA delta scaled by alpha into dst.
 func (a *Adapter) Accumulate(id int32, alpha float64, dst []float64) {
-	row, ok := a.rows[id]
+	st := a.cur.Load()
+	row, ok := st.rows[id]
 	if !ok {
 		return
 	}
@@ -177,7 +210,7 @@ func (a *Adapter) Accumulate(id int32, alpha float64, dst []float64) {
 		if av == 0 {
 			continue
 		}
-		tensor.Axpy(alpha*av, a.b.Row(k), dst)
+		tensor.Axpy(alpha*av, st.b.Row(k), dst)
 	}
 }
 
@@ -185,6 +218,8 @@ func (a *Adapter) Accumulate(id int32, alpha float64, dst []float64) {
 // of dlrm.Model.Backward) and performs one SGD step at rate lr on A and B,
 // with the base weights frozen (paper §IV-A, step 1 of the update path).
 // Ids without a row are allocated one (zero-initialized) if capacity allows.
+// Train mutates the current state in place and is owner-only: it must be
+// serialized with every other call on this adapter.
 func (a *Adapter) Train(ids []int32, grad []float64, lr float64) {
 	if len(ids) == 0 {
 		return
@@ -193,20 +228,21 @@ func (a *Adapter) Train(ids []int32, grad []float64, lr float64) {
 		panic(fmt.Sprintf("lora: grad len %d != dim %d", len(grad), a.cfg.Dim))
 	}
 	a.recordGrad(grad)
+	st := a.cur.Load()
 	invPool := 1 / float64(len(ids))
 
 	// dB accumulates Σ_i A[i]ᵀ·(grad/pool); computed before A rows move.
-	dB := tensor.NewMatrix(a.rank, a.cfg.Dim)
+	dB := tensor.NewMatrix(st.rank, a.cfg.Dim)
 	for _, id := range ids {
-		row := a.ensureRow(id)
+		row := a.ensureRow(st, id)
 		if row == nil {
 			continue // table at capacity; skip cold id
 		}
 		a.freq[id]++
 		a.supp[id] = struct{}{}
 		// dA[i] = (grad/pool) · Bᵀ  (1×k)
-		for k := 0; k < a.rank; k++ {
-			dAk := invPool * tensor.Dot(grad, a.b.Row(k))
+		for k := 0; k < st.rank; k++ {
+			dAk := invPool * tensor.Dot(grad, st.b.Row(k))
 			// dB[k] += A[i][k] * grad/pool
 			if row[k] != 0 {
 				tensor.Axpy(row[k]*invPool, grad, dB.Row(k))
@@ -214,7 +250,7 @@ func (a *Adapter) Train(ids []int32, grad []float64, lr float64) {
 			row[k] -= lr * dAk
 		}
 	}
-	a.b.AXPY(-lr, dB)
+	st.b.AXPY(-lr, dB)
 
 	a.iter++
 	if a.iter%a.cfg.AdaptInterval == 0 {
@@ -222,22 +258,22 @@ func (a *Adapter) Train(ids []int32, grad []float64, lr float64) {
 	}
 }
 
-// ensureRow returns the A row for id, allocating a randomly initialized row
-// when capacity allows; it returns nil when the table is full and id is not
-// resident. Random A with zero B keeps ∆W = 0 until training moves B.
-func (a *Adapter) ensureRow(id int32) []float64 {
-	if row, ok := a.rows[id]; ok {
+// ensureRow returns the A row for id in st, allocating a randomly initialized
+// row when capacity allows; it returns nil when the table is full and id is
+// not resident. Random A with zero B keeps ∆W = 0 until training moves B.
+func (a *Adapter) ensureRow(st *adapterState, id int32) []float64 {
+	if row, ok := st.rows[id]; ok {
 		return row
 	}
-	if len(a.rows) >= a.cfg.CMax {
+	if len(st.rows) >= a.cfg.CMax {
 		return nil
 	}
-	row := make([]float64, a.rank)
-	scale := 1 / math.Sqrt(float64(a.rank))
+	row := make([]float64, st.rank)
+	scale := 1 / math.Sqrt(float64(st.rank))
 	for k := range row {
 		row[k] = a.rng.NormFloat64() * scale
 	}
-	a.rows[id] = row
+	st.rows[id] = row
 	return row
 }
 
@@ -276,8 +312,9 @@ func (a *Adapter) adapt() {
 	}
 
 	// --- Usage-based pruning (Alg. 1 line 5-10) ---
-	active := make([]int32, 0, len(a.rows))
-	for id := range a.rows {
+	st := a.cur.Load()
+	active := make([]int32, 0, len(st.rows))
+	for id := range st.rows {
 		if a.freq[id] >= a.cfg.PruneThresh {
 			active = append(active, id)
 		}
@@ -303,9 +340,9 @@ func (a *Adapter) adapt() {
 	for _, id := range active {
 		keep[id] = struct{}{}
 	}
-	for id := range a.rows {
+	for id := range st.rows {
 		if _, ok := keep[id]; !ok {
-			delete(a.rows, id)
+			delete(st.rows, id)
 			a.pruned++
 		}
 	}
@@ -316,9 +353,11 @@ func (a *Adapter) adapt() {
 // Resize changes the LoRA rank to r. Shrinking re-projects the current ∆W
 // onto the best rank-r subspace via truncated SVD (Eckart–Young), so learned
 // information is preserved as well as any rank-r factorization can; growing
-// zero-pads, leaving ∆W bit-identical.
+// zero-pads, leaving ∆W bit-identical. The resized factors are installed by
+// one atomic swap (publish-path operation).
 func (a *Adapter) Resize(r int) {
-	if r == a.rank {
+	st := a.cur.Load()
+	if r == st.rank {
 		return
 	}
 	if r < a.cfg.MinRank {
@@ -327,35 +366,38 @@ func (a *Adapter) Resize(r int) {
 	if r > a.cfg.MaxRank {
 		r = a.cfg.MaxRank
 	}
-	if r == a.rank {
+	if r == st.rank {
 		return
 	}
-	if r > a.rank {
+	if r > st.rank {
 		// Grow: zero B rows keep ∆W identical; the new A coordinates are
 		// randomly initialized so gradients flow into the added capacity.
 		newB := tensor.NewMatrix(r, a.cfg.Dim)
-		copy(newB.Data, a.b.Data)
-		a.b = newB
+		copy(newB.Data, st.b.Data)
 		scale := 1 / math.Sqrt(float64(r))
-		for id, row := range a.rows {
+		rows := make(map[int32][]float64, len(st.rows))
+		for id, row := range st.rows {
 			nr := make([]float64, r)
 			copy(nr, row)
 			for k := len(row); k < r; k++ {
 				nr[k] = a.rng.NormFloat64() * scale
 			}
-			a.rows[id] = nr
+			rows[id] = nr
 		}
-		a.rank = r
+		a.cur.Store(&adapterState{rank: r, b: newB, rows: rows})
 		return
 	}
 	// Shrink: factor the realized ∆W of the active rows.
-	if len(a.rows) == 0 {
-		a.b = tensor.NewMatrix(r, a.cfg.Dim)
-		a.rank = r
+	if len(st.rows) == 0 {
+		a.cur.Store(&adapterState{
+			rank: r,
+			b:    tensor.NewMatrix(r, a.cfg.Dim),
+			rows: make(map[int32][]float64),
+		})
 		return
 	}
-	ids := make([]int32, 0, len(a.rows))
-	for id := range a.rows {
+	ids := make([]int32, 0, len(st.rows))
+	for id := range st.rows {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -364,16 +406,17 @@ func (a *Adapter) Resize(r int) {
 		a.Delta(id, delta.Row(i))
 	}
 	left, right := tensor.TruncatedSVD(delta, r)
-	a.b = right
+	rows := make(map[int32][]float64, len(ids))
 	for i, id := range ids {
-		a.rows[id] = append([]float64(nil), left.Row(i)...)
+		rows[id] = append([]float64(nil), left.Row(i)...)
 	}
-	a.rank = r
+	a.cur.Store(&adapterState{rank: r, b: right, rows: rows})
 }
 
 // SizeBytes returns the adapter's parameter footprint: active A rows plus B.
 func (a *Adapter) SizeBytes() int64 {
-	return int64(len(a.rows))*int64(a.rank)*8 + int64(a.rank)*int64(a.cfg.Dim)*8
+	st := a.cur.Load()
+	return int64(len(st.rows))*int64(st.rank)*8 + int64(st.rank)*int64(a.cfg.Dim)*8
 }
 
 // RowUpdate carries one modified A row for synchronization (Algorithm 3).
@@ -383,11 +426,14 @@ type RowUpdate struct {
 }
 
 // ExportSupport snapshots the A rows modified since the last ResetSupport —
-// supp(∆θ) in Algorithm 3 — without clearing the support set.
+// supp(∆θ) in Algorithm 3 — without clearing the support set. The returned
+// rows are deep copies, so the export stays valid (and immutable) while the
+// adapter keeps training.
 func (a *Adapter) ExportSupport() []RowUpdate {
+	st := a.cur.Load()
 	out := make([]RowUpdate, 0, len(a.supp))
 	for id := range a.supp {
-		row, ok := a.rows[id]
+		row, ok := st.rows[id]
 		if !ok {
 			continue // pruned since modification
 		}
@@ -406,40 +452,88 @@ func (a *Adapter) ResetSupport() { a.supp = make(map[int32]struct{}) }
 // ApplyRows installs remote A rows (receiving side of a sync). Rows whose
 // length differs from the current rank are adapted: truncated or zero-padded.
 // Applied rows do not enter the local support set (they are foreign state).
+// The update is copy-on-write: a fresh row map is built and swapped in one
+// atomic store, so concurrent lock-free readers never see a torn state.
 func (a *Adapter) ApplyRows(updates []RowUpdate) {
-	for _, u := range updates {
-		row := make([]float64, a.rank)
-		copy(row, u.Row) // copies min(len) — truncation/padding implicit
-		a.rows[u.ID] = row
+	st := a.cur.Load()
+	a.cur.Store(&adapterState{
+		rank: st.rank,
+		b:    st.b,
+		rows: rowsWithUpdates(st, updates),
+	})
+}
+
+// rowsWithUpdates clones st's row map and installs updates at st's rank.
+func rowsWithUpdates(st *adapterState, updates []RowUpdate) map[int32][]float64 {
+	rows := make(map[int32][]float64, len(st.rows)+len(updates))
+	for id, row := range st.rows {
+		rows[id] = row
 	}
+	for _, u := range updates {
+		row := make([]float64, st.rank)
+		copy(row, u.Row) // copies min(len) — truncation/padding implicit
+		rows[u.ID] = row
+	}
+	return rows
 }
 
 // SetB overwrites the shared factor B from a synced copy. The incoming
 // matrix is rank'×d; rank mismatches are adapted by truncate/zero-pad.
+// Copy-on-write: the new B is installed by one atomic swap.
 func (a *Adapter) SetB(b *tensor.Matrix) {
-	if b.Cols != a.cfg.Dim {
-		panic(fmt.Sprintf("lora: SetB dim %d != %d", b.Cols, a.cfg.Dim))
+	st := a.cur.Load()
+	a.cur.Store(&adapterState{
+		rank: st.rank,
+		b:    adaptedB(st.rank, a.cfg.Dim, b),
+		rows: st.rows,
+	})
+}
+
+// adaptedB copies b into a rank×dim matrix, truncating or zero-padding rows.
+func adaptedB(rank, dim int, b *tensor.Matrix) *tensor.Matrix {
+	if b.Cols != dim {
+		panic(fmt.Sprintf("lora: SetB dim %d != %d", b.Cols, dim))
 	}
-	nb := tensor.NewMatrix(a.rank, a.cfg.Dim)
-	n := a.rank
+	nb := tensor.NewMatrix(rank, dim)
+	n := rank
 	if b.Rows < n {
 		n = b.Rows
 	}
-	copy(nb.Data, b.Data[:n*a.cfg.Dim])
-	a.b = nb
+	copy(nb.Data, b.Data[:n*dim])
+	return nb
+}
+
+// applyState installs one merged TableState (rows plus shared B) in a single
+// atomic swap — the per-adapter publish step of the versioned sync pipeline.
+// A nil B keeps the current factor.
+func (a *Adapter) applyState(ts TableState) {
+	st := a.cur.Load()
+	b := st.b
+	if ts.B != nil {
+		b = adaptedB(st.rank, a.cfg.Dim, ts.B)
+	}
+	a.cur.Store(&adapterState{
+		rank: st.rank,
+		b:    b,
+		rows: rowsWithUpdates(st, ts.Rows),
+	})
 }
 
 // B returns a copy of the shared factor for synchronization.
-func (a *Adapter) B() *tensor.Matrix { return a.b.Clone() }
+func (a *Adapter) B() *tensor.Matrix { return a.cur.Load().b.Clone() }
 
 // Reset clears all LoRA state (after a full-parameter sync folds fresh base
 // weights in, the adapter starts from ∆W = 0 again — paper Fig 8's hourly
 // full-update starting points).
 func (a *Adapter) Reset() {
-	a.rows = make(map[int32][]float64)
+	rank := a.cur.Load().rank
+	a.cur.Store(&adapterState{
+		rank: rank,
+		b:    tensor.NewMatrix(rank, a.cfg.Dim),
+		rows: make(map[int32][]float64),
+	})
 	a.freq = make(map[int32]int)
 	a.supp = make(map[int32]struct{})
-	a.b = tensor.NewMatrix(a.rank, a.cfg.Dim)
 	a.gradCount = 0
 	a.gradNext = 0
 	a.rankObsSum = 0

@@ -2,6 +2,7 @@ package lora
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -75,7 +76,7 @@ func TestTrainAllocatesAndMoves(t *testing.T) {
 	// Prime: with both factors zero the product stays zero (standard LoRA
 	// cold start when both are zero-initialized). Kick A manually as the
 	// paper's trainer does via its initializer, then train.
-	a.rows[3][0] = 0.5
+	a.cur.Load().rows[3][0] = 0.5
 	before := make([]float64, 8)
 	a.Delta(3, before)
 	a.Train([]int32{3}, grad, 0.1)
@@ -295,7 +296,7 @@ func TestApplyRowsRankMismatch(t *testing.T) {
 	a := MustNewAdapter(testConfig())                                // rank 4
 	a.ApplyRows([]RowUpdate{{ID: 1, Row: []float64{1, 2}}})          // shorter
 	a.ApplyRows([]RowUpdate{{ID: 2, Row: []float64{1, 2, 3, 4, 5}}}) // longer
-	if len(a.rows[1]) != 4 || len(a.rows[2]) != 4 {
+	if len(a.cur.Load().rows[1]) != 4 || len(a.cur.Load().rows[2]) != 4 {
 		t.Fatal("applied rows must be adapted to local rank")
 	}
 }
@@ -366,7 +367,7 @@ func TestSetLookupColdEqualsBase(t *testing.T) {
 func TestSetLookupHotAddsDelta(t *testing.T) {
 	s := newTestSet(t)
 	a := s.Adapters[0]
-	a.rows[5] = []float64{1, 0, 0, 0}
+	a.cur.Load().rows[5] = []float64{1, 0, 0, 0}
 	b := tensor.NewMatrix(4, 8)
 	b.Set(0, 0, 0.5)
 	a.SetB(b)
@@ -406,7 +407,7 @@ func TestSetApplyGradFreezesBase(t *testing.T) {
 func TestSetMergeIntoBase(t *testing.T) {
 	s := newTestSet(t)
 	a := s.Adapters[0]
-	a.rows[7] = []float64{2, 0, 0, 0}
+	a.cur.Load().rows[7] = []float64{2, 0, 0, 0}
 	b := tensor.NewMatrix(4, 8)
 	b.Set(0, 3, 1.5)
 	a.SetB(b)
@@ -449,7 +450,7 @@ func TestSetStateRoundTrip(t *testing.T) {
 	s1.ApplyGrad(0, []int32{1, 2}, grad, 0.05)
 	s1.ApplyGrad(2, []int32{9}, grad, 0.05)
 	// Make deltas non-zero (B starts zero → kick a row and retrain).
-	s1.Adapters[0].rows[1][0] = 0.3
+	s1.Adapters[0].cur.Load().rows[1][0] = 0.3
 	s1.ApplyGrad(0, []int32{1}, grad, 0.05)
 
 	states := s1.ExportState()
@@ -479,12 +480,111 @@ func TestSetStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSetStateRoundTripConcurrentLookup is the copy-on-write acceptance
+// test: an ExportState/ApplyState (and Publish) round-trip runs in a loop
+// while reader goroutines hammer Lookup and EffectiveRow on the same Set.
+// Under `go test -race` this proves the publish path swaps state atomically
+// — readers never observe a torn mix and never block on an in-flight merge —
+// and afterwards the round-trip must still reproduce the exported deltas
+// exactly.
+func TestSetStateRoundTripConcurrentLookup(t *testing.T) {
+	src := newTestSet(t)
+	grad := make([]float64, 8)
+	grad[1] = 1
+	for id := int32(0); id < 40; id++ {
+		src.ApplyGrad(int(id)%3, []int32{id % 20}, grad, 0.05)
+	}
+	states := src.ExportState()
+	epochs := []int64{1, 2, 3}
+
+	dst := newTestSet(t)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			out := make([]float64, 8)
+			row := make([]float64, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				table := (g + i) % 3
+				id := int32(i % 20)
+				dst.Lookup(table, []int32{id}, out)
+				dst.EffectiveRow(table, id, row)
+				dst.HasHot(table, []int32{id})
+				_ = dst.Epoch()
+			}
+		}(g)
+	}
+	// Writer: repeated apply/publish of the same immutable snapshot while
+	// the readers run. Every iteration rebuilds row maps and B matrices, so
+	// any unsynchronized reader access is a guaranteed race-detector hit.
+	for i := 0; i < 200; i++ {
+		dst.ApplyState(states)
+		dst.Publish(states, epochs[i%len(epochs)])
+	}
+	close(stop)
+	readers.Wait()
+
+	if got := dst.Epoch(); got != epochs[(200-1)%len(epochs)] {
+		t.Fatalf("published epoch = %d, want %d", got, epochs[(200-1)%len(epochs)])
+	}
+	if v := dst.Published(); v == nil || len(v.Tables) != 3 {
+		t.Fatal("published version must carry the applied tables")
+	}
+	// Round-trip fidelity: the concurrent episode must not have perturbed
+	// the installed state.
+	d1 := make([]float64, 8)
+	d2 := make([]float64, 8)
+	for table := range states {
+		for _, u := range states[table].Rows {
+			src.Adapters[table].Delta(u.ID, d1)
+			dst.Adapters[table].Delta(u.ID, d2)
+			for i := range d1 {
+				if math.Abs(d1[i]-d2[i]) > 1e-12 {
+					t.Fatalf("table %d id %d: delta diverged after concurrent round-trip", table, u.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestSetSnapshotClearsSupports verifies the pipelined snapshot contract:
+// Snapshot exports the current supports and clears them, so training that
+// lands after the snapshot feeds the next sync epoch instead of being lost.
+func TestSetSnapshotClearsSupports(t *testing.T) {
+	s := newTestSet(t)
+	grad := make([]float64, 8)
+	grad[0] = 1
+	s.ApplyGrad(0, []int32{4}, grad, 0.05)
+	snap := s.Snapshot()
+	if len(snap[0].Rows) != 1 || snap[0].Rows[0].ID != 4 {
+		t.Fatalf("snapshot missing trained row: %+v", snap[0].Rows)
+	}
+	for _, a := range s.Adapters {
+		if a.SupportSize() != 0 {
+			t.Fatal("Snapshot must clear supports")
+		}
+	}
+	// Post-snapshot training lands in the next epoch's support.
+	s.ApplyGrad(0, []int32{9}, grad, 0.05)
+	next := s.Snapshot()
+	if len(next[0].Rows) != 1 || next[0].Rows[0].ID != 9 {
+		t.Fatalf("post-snapshot training must feed the next epoch: %+v", next[0].Rows)
+	}
+}
+
 func TestSetHasHot(t *testing.T) {
 	s := newTestSet(t)
 	if s.HasHot(0, []int32{1, 2, 3}) {
 		t.Fatal("empty set must report cold")
 	}
-	s.Adapters[0].rows[2] = make([]float64, 4)
+	s.Adapters[0].cur.Load().rows[2] = make([]float64, 4)
 	if !s.HasHot(0, []int32{1, 2, 3}) {
 		t.Fatal("resident id must report hot")
 	}
@@ -537,7 +637,7 @@ func seedAdapter(a *Adapter, n int) {
 		for k := range row {
 			row[k] = rng.NormFloat64() * 0.2
 		}
-		a.rows[id] = row
+		a.cur.Load().rows[id] = row
 		a.supp[id] = struct{}{}
 	}
 	b := tensor.NewMatrix(a.Rank(), a.cfg.Dim)

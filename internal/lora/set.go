@@ -2,6 +2,7 @@ package lora
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"liveupdate/internal/emt"
 	"liveupdate/internal/tensor"
@@ -10,9 +11,34 @@ import (
 // Set pairs one Adapter per embedding table with a frozen base emt.Group and
 // implements dlrm.EmbeddingSource: lookups serve W_base + A·B, training
 // gradients flow only into the adapters (paper Fig 7).
+//
+// For synchronization the Set carries epoch-versioned, copy-on-write state:
+// Snapshot exports the modified rows for an in-flight merge, Publish installs
+// a merged state per adapter with atomic pointer swaps and stamps the epoch.
+// Readers (Lookup, EffectiveRow, HasHot) never block on a merge — they are
+// safe concurrently with the whole publish path; only Train requires the
+// owner's serialization (see the package comment on Adapter).
 type Set struct {
 	Base     *emt.Group
 	Adapters []*Adapter
+
+	// published is the last Version installed by Publish; nil before the
+	// first sync. Readers load it lock-free.
+	published atomic.Pointer[Version]
+}
+
+// Version is an epoch-stamped snapshot of merged adapter state, as installed
+// by Publish. It is immutable after publication: the sync pipeline hands the
+// same Version to every replica, and adapters copy rows on apply rather than
+// aliasing them.
+type Version struct {
+	// Epoch is the publisher's monotone sync generation — the SyncGroup's
+	// cumulative sync counter, which advances on every completed merge,
+	// manual SyncNow included. It orders publications; it is NOT the
+	// Cluster's SyncEvery epoch index.
+	Epoch int64
+	// Tables is the merged state, one entry per embedding table.
+	Tables []TableState
 }
 
 // NewSet builds adapters (one per base table) from cfg. The cfg.Dim field is
@@ -102,7 +128,7 @@ func (s *Set) MergeIntoBase() {
 	delta := make([]float64, s.Dim())
 	for ti, a := range s.Adapters {
 		t := s.Base.Tables[ti]
-		for id := range a.rows {
+		for id := range a.cur.Load().rows {
 			a.Delta(id, delta)
 			t.ApplyRowDelta(id, delta)
 		}
@@ -153,17 +179,52 @@ func (s *Set) ExportState() []TableState {
 	return out
 }
 
-// ApplyState installs a synced snapshot (winner of the priority merge).
+// ApplyState installs a synced snapshot (winner of the priority merge). Each
+// adapter swaps in its new rows and B factor with one atomic store, so
+// concurrent lock-free readers see either the pre- or post-sync state of a
+// table, never a torn mix.
 func (s *Set) ApplyState(states []TableState) {
 	if len(states) != len(s.Adapters) {
 		panic(fmt.Sprintf("lora: ApplyState %d states for %d adapters", len(states), len(s.Adapters)))
 	}
 	for i, st := range states {
-		if st.B != nil {
-			s.Adapters[i].SetB(st.B)
-		}
-		s.Adapters[i].ApplyRows(st.Rows)
+		s.Adapters[i].applyState(st)
 	}
+}
+
+// Snapshot exports every adapter's modified-row support plus shared factors
+// and clears the supports — the copy-on-write payload for one epoch of the
+// asynchronous sync pipeline. Clearing at snapshot time (rather than after
+// the merge lands) means training that arrives while the merge is in flight
+// feeds the NEXT epoch instead of being silently dropped. Owner-only: callers
+// must hold the replica's serialization while snapshotting.
+func (s *Set) Snapshot() []TableState {
+	st := s.ExportState()
+	s.ResetSupports()
+	return st
+}
+
+// Publish atomically installs a merged state and stamps it with the
+// publisher's epoch. The state is applied per adapter via copy-on-write
+// pointer swaps and then recorded as the Set's published Version, so
+// lock-free readers can observe both the data and the epoch it belongs to
+// without blocking on the merge that produced it.
+func (s *Set) Publish(states []TableState, epoch int64) {
+	s.ApplyState(states)
+	s.published.Store(&Version{Epoch: epoch, Tables: states})
+}
+
+// Published returns the last Version installed by Publish (nil before the
+// first sync). Lock-free.
+func (s *Set) Published() *Version { return s.published.Load() }
+
+// Epoch returns the epoch of the last published state, or -1 before the
+// first publication. Lock-free.
+func (s *Set) Epoch() int64 {
+	if v := s.published.Load(); v != nil {
+		return v.Epoch
+	}
+	return -1
 }
 
 // ResetSupports clears all adapters' support sets (end of sync cycle).

@@ -4,7 +4,9 @@
 //
 //   - the LiveUpdate serving stack behind one Server interface: a single
 //     co-located node (System) or a replica fleet with request routing and
-//     periodic LoRA priority-merge synchronization (Cluster);
+//     periodic LoRA priority-merge synchronization (Cluster) — propagated,
+//     by default, through a versioned asynchronous pipeline that never
+//     blocks serving (see WithSyncMode);
 //   - the baselines the paper compares against: NoUpdate, DeltaUpdate, and
 //     QuickUpdate, behind a single comparison harness (Comparison);
 //   - the evaluation suite: every table and figure of the paper's §V can be
@@ -58,7 +60,7 @@ import (
 )
 
 // Version identifies this reproduction release.
-const Version = "2.0.0"
+const Version = "2.1.0"
 
 // Server is the unified serving abstraction: one request in, a scored
 // response out, plus a consistent statistics snapshot. Both the single-node
@@ -123,6 +125,27 @@ const (
 // RouterPolicies lists the built-in routing policies.
 func RouterPolicies() []RouterPolicy { return cluster.Policies() }
 
+// SyncMode selects how periodic fleet syncs propagate.
+type SyncMode = cluster.SyncMode
+
+// The sync propagation modes.
+const (
+	// SyncModeAsync (the default) is the versioned, double-buffered
+	// pipeline: each replica is snapshotted individually, the priority merge
+	// runs on a background goroutine with the simulated AllGather cost
+	// charged to the sync clock, and the merged state is published per
+	// replica through epoch-versioned atomic pointer swaps. Serving never
+	// blocks on a fleet-wide lock during a periodic sync.
+	SyncModeAsync = cluster.SyncAsync
+	// SyncModeBarrier is the legacy stop-the-world protocol: every periodic
+	// sync drains and blocks the whole fleet behind a write lock until the
+	// merged state is installed everywhere.
+	SyncModeBarrier = cluster.SyncBarrier
+)
+
+// SyncModes lists the supported sync modes, default first.
+func SyncModes() []SyncMode { return cluster.SyncModes() }
+
 // Profile describes a dataset/workload (paper Table II).
 type Profile = trace.Profile
 
@@ -169,6 +192,7 @@ type config struct {
 	replicas  int
 	router    RouterPolicy
 	syncEvery time.Duration
+	syncMode  SyncMode
 	legacy    *core.Options
 	overrides []func(*core.Options)
 }
@@ -225,6 +249,24 @@ func WithSyncEvery(d time.Duration) Option {
 			return fmt.Errorf("liveupdate: WithSyncEvery(%v): interval must be non-negative", d)
 		}
 		c.syncEvery = d
+		return nil
+	})
+}
+
+// WithSyncMode selects how periodic fleet syncs propagate: SyncModeAsync
+// (the default) never blocks serving behind a periodic sync, SyncModeBarrier
+// reproduces the legacy stop-the-world behavior. It has no effect on a
+// single-node Server. Virtual-time statistics (Served, Violations, sync
+// counts, latency quantiles) are deterministic for any worker count in
+// either mode; async mode trades bit-identical run-to-run adapter values for
+// non-blocking propagation (the paper's bounded-staleness window).
+func WithSyncMode(m SyncMode) Option {
+	return optionFunc(func(c *config) error {
+		mode, err := cluster.ParseSyncMode(string(m))
+		if err != nil {
+			return err
+		}
+		c.syncMode = mode
 		return nil
 	})
 }
@@ -290,7 +332,7 @@ func DefaultOptions(p Profile, seed uint64) Options {
 // single-node *System; with more replicas it is a *Cluster. A legacy Options
 // value may be passed instead of (not alongside) WithProfile/WithSeed.
 func New(opts ...Option) (Server, error) {
-	c := config{seed: 42, replicas: 1, router: RoundRobinRouter, syncEvery: 30 * time.Second}
+	c := config{seed: 42, replicas: 1, router: RoundRobinRouter, syncEvery: 30 * time.Second, syncMode: SyncModeAsync}
 	for _, o := range opts {
 		if o == nil {
 			continue
@@ -327,6 +369,7 @@ func New(opts ...Option) (Server, error) {
 		Replicas:  c.replicas,
 		Router:    router,
 		SyncEvery: c.syncEvery,
+		Mode:      c.syncMode,
 	})
 }
 
@@ -440,17 +483,34 @@ type CostModel = update.CostModel
 func NewCostModel(p Profile) CostModel { return update.DefaultCostModel(p) }
 
 // ExperimentIDs lists the reproducible tables and figures in presentation
-// order (fig3a … fig19, table2, table3).
+// order (fig3a … fig19, table2, table3, syncpipe).
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentConfig configures RunExperimentWith.
+type ExperimentConfig struct {
+	// Seed is the deterministic seed.
+	Seed uint64
+	// Quick reduces sample counts (tests, smoke runs).
+	Quick bool
+	// SyncMode restricts fleet-serving experiments (syncpipe) to one sync
+	// propagation mode; the zero value runs their default mode set.
+	SyncMode SyncMode
+}
 
 // RunExperiment regenerates one paper table/figure and returns its printable
 // report. Set quick for reduced sample counts (tests, smoke runs).
 func RunExperiment(id string, seed uint64, quick bool) (string, error) {
+	return RunExperimentWith(id, ExperimentConfig{Seed: seed, Quick: quick})
+}
+
+// RunExperimentWith is RunExperiment with the full configuration surface,
+// including the sync propagation mode for fleet-serving experiments.
+func RunExperimentWith(id string, cfg ExperimentConfig) (string, error) {
 	runner, ok := experiments.Registry()[id]
 	if !ok {
 		return "", fmt.Errorf("liveupdate: unknown experiment %q (valid: %v)", id, experiments.IDs())
 	}
-	rep, err := runner(experiments.Options{Seed: seed, Quick: quick})
+	rep, err := runner(experiments.Options{Seed: cfg.Seed, Quick: cfg.Quick, SyncMode: string(cfg.SyncMode)})
 	if err != nil {
 		return "", err
 	}

@@ -185,8 +185,8 @@ func TestRunExperimentUnknownIDError(t *testing.T) {
 
 func TestExperimentIDsStable(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(ids))
 	}
 	for _, want := range []string{"fig14", "table3", "fig16", "fig19"} {
 		found := false
