@@ -187,6 +187,34 @@ func BenchmarkClusterSyncBarrier(b *testing.B) { benchClusterSync(b, SyncModeBar
 // are identical between the two.
 func BenchmarkClusterSyncAsync(b *testing.B) { benchClusterSync(b, SyncModeAsync) }
 
+// BenchmarkFleetReplaceReplica measures one full membership turnover on a
+// warmed 4-replica fleet: fail the member in slot 1, spawn a replacement,
+// and catch it up from a live donor (base-table checkpoint serialize +
+// restore, full LoRA state transfer, atomic view/ring rebuild). This is the
+// control-plane cost a production fleet pays per crash, so its trajectory
+// matters as the serving stack grows.
+func BenchmarkFleetReplaceReplica(b *testing.B) {
+	srv, gen := benchSyncFleet(b, SyncModeAsync)
+	es := srv.(ElasticServer)
+	// Warm the fleet so the donor has real adapter state to ship.
+	for i := 0; i < 400; i++ {
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := es.ReplaceReplica(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := srv.Stats()
+	if b.N > 0 {
+		b.ReportMetric(float64(st.CatchUpBytes)/float64(b.N), "catchupB/op")
+	}
+}
+
 // BenchmarkLoRATrainStep measures one co-located LoRA training step
 // (forward + backward + factor update, dense layers frozen).
 func BenchmarkLoRATrainStep(b *testing.B) {

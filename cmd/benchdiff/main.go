@@ -150,10 +150,17 @@ func renderDiff(w *bufio.Writer, oldRes, newRes map[string]benchResult, threshol
 		}
 		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", name, o.NsPerOp, n.NsPerOp, delta, flag)
 	}
+	// Benchmarks present only in the old file render as "removed" rows, in
+	// sorted order so the table is stable run to run (map iteration is not).
+	removed := make([]string, 0)
 	for name := range oldRes {
 		if _, ok := newRes[name]; !ok {
-			fmt.Fprintf(w, "| %s | %.0f | — | removed |\n", name, oldRes[name].NsPerOp)
+			removed = append(removed, name)
 		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "| %s | %.0f | — | removed |\n", name, oldRes[name].NsPerOp)
 	}
 	fmt.Fprintf(w, "\n")
 	if regressions > 0 {

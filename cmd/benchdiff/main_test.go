@@ -43,6 +43,7 @@ func writeTemp(t *testing.T, name, content string) string {
 
 const streamA = `{"Action":"output","Package":"liveupdate","Output":"BenchmarkServeRequest-8 \t   10000\t    100000 ns/op\n"}
 {"Action":"output","Package":"liveupdate","Output":"BenchmarkGone-8 \t   10000\t    5 ns/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkAlsoGone-8 \t   10000\t    9 ns/op\n"}
 {"Action":"pass","Package":"liveupdate"}
 `
 
@@ -90,10 +91,16 @@ func TestRenderDiffFlagsRegression(t *testing.T) {
 		"| BenchmarkServeRequest-8 | 100000 | 150000 | +50.0% ⚠️ |",
 		"| BenchmarkFresh-8 | — | 7 | new |",
 		"| BenchmarkGone-8 | 5 | — | removed |",
+		"| BenchmarkAlsoGone-8 | 9 | — | removed |",
 		"1 benchmark(s) regressed",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff output missing %q:\n%s", want, out)
 		}
+	}
+	// Removed rows must render in sorted order, not map order: a one-in-two
+	// flake here would churn every CI job summary.
+	if strings.Index(out, "BenchmarkAlsoGone-8") > strings.Index(out, "BenchmarkGone-8") {
+		t.Fatalf("removed rows unsorted:\n%s", out)
 	}
 }

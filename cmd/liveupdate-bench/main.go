@@ -6,6 +6,7 @@
 //	liveupdate-bench -exp all -quick       # everything, reduced samples
 //	liveupdate-bench -exp all -concurrency 4  # experiments in parallel
 //	liveupdate-bench -exp syncpipe -sync-mode barrier  # fleet serving, one sync mode
+//	liveupdate-bench -exp elastic -chaos "@2s kill 1; @4s replace 1"  # custom churn
 //	liveupdate-bench -list                 # show available experiment ids
 //
 // Exit status: 0 on success, 1 when an experiment fails, 2 when emitting
@@ -33,7 +34,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 1,
 		"experiments to run in parallel (output order stays deterministic)")
 	syncMode := flag.String("sync-mode", "",
-		fmt.Sprintf("restrict fleet-serving experiments (syncpipe) to one sync propagation mode %v; empty runs both", liveupdate.SyncModes()))
+		fmt.Sprintf("restrict fleet-serving experiments (syncpipe, elastic) to one sync propagation mode %v; empty runs their defaults", liveupdate.SyncModes()))
+	chaosScript := flag.String("chaos", "",
+		"override the elastic experiment's built-in membership schedule, e.g. \"@2s kill 1; @4s replace 1; @6s scale 6\"")
 	flag.Parse()
 
 	if *concurrency < 1 {
@@ -50,6 +53,12 @@ func main() {
 		if !valid {
 			fmt.Fprintf(os.Stderr, "liveupdate-bench: -sync-mode must be one of %v, got %q\n",
 				liveupdate.SyncModes(), *syncMode)
+			os.Exit(1)
+		}
+	}
+	if *chaosScript != "" {
+		if _, err := liveupdate.ParseChaosScript(*chaosScript); err != nil {
+			fmt.Fprintf(os.Stderr, "liveupdate-bench: -chaos: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -102,9 +111,10 @@ func main() {
 			defer func() { <-sem }()
 			start := time.Now()
 			out, err := liveupdate.RunExperimentWith(id, liveupdate.ExperimentConfig{
-				Seed:     *seed,
-				Quick:    *quick,
-				SyncMode: liveupdate.SyncMode(*syncMode),
+				Seed:        *seed,
+				Quick:       *quick,
+				SyncMode:    liveupdate.SyncMode(*syncMode),
+				ChaosScript: *chaosScript,
 			})
 			results[i] = result{out: out, seconds: time.Since(start).Seconds(), err: err}
 		}(i, id)

@@ -8,6 +8,7 @@
 //	liveupdate-serve -replicas 4 -router hash -sync 30s
 //	liveupdate-serve -replicas 4 -concurrency 8          # parallel load driver
 //	liveupdate-serve -replicas 4 -sync-mode barrier      # legacy stop-the-world syncs
+//	liveupdate-serve -replicas 4 -chaos "@2s kill 1; @4s replace 1; @6s scale 6"
 package main
 
 import (
@@ -40,6 +41,8 @@ func main() {
 	noIsolation := flag.Bool("no-isolation", false, "disable NUMA scheduling and reuse (naive co-location)")
 	concurrency := flag.Int("concurrency", 1,
 		"client goroutines driving the fleet (1 = plain sequential loop; virtual-time stats are identical either way)")
+	chaosScript := flag.String("chaos", "",
+		"membership-event schedule applied at virtual timestamps while serving, e.g. \"@2s kill 1; @4s replace 1; @6s scale 6\" (actions: kill/replace/leave <slot>, join, scale <n>; needs -replicas > 1)")
 	flag.Parse()
 
 	// Validate flags up front so bad values produce an error, not a panic
@@ -60,11 +63,22 @@ func main() {
 		fatalf("-concurrency must be >= 1, got %d", *concurrency)
 	}
 
+	var chaos liveupdate.ChaosSchedule
+	if *chaosScript != "" {
+		var err error
+		if chaos, err = liveupdate.ParseChaosScript(*chaosScript); err != nil {
+			fatalf("%v", err)
+		}
+		if *replicas < 2 {
+			fatalf("-chaos needs a fleet: set -replicas > 1")
+		}
+	}
+
 	profile, err := liveupdate.ProfileByName(*profileName)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	srv, err := liveupdate.New(
+	opts := []liveupdate.Option{
 		liveupdate.WithProfile(profile),
 		liveupdate.WithSeed(*seed),
 		liveupdate.WithReplicas(*replicas),
@@ -73,7 +87,11 @@ func main() {
 		liveupdate.WithSyncMode(liveupdate.SyncMode(*syncMode)),
 		liveupdate.WithTraining(!*noTrain),
 		liveupdate.WithIsolation(!*noIsolation),
-	)
+	}
+	if len(chaos) > 0 {
+		opts = append(opts, liveupdate.WithChaos(chaos))
+	}
+	srv, err := liveupdate.New(opts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -81,6 +99,9 @@ func main() {
 
 	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s sync-mode=%s training=%v isolation=%v concurrency=%d\n",
 		liveupdate.Version, profile.Name, *replicas, *router, *syncMode, !*noTrain, !*noIsolation, *concurrency)
+	if len(chaos) > 0 {
+		fmt.Printf("chaos schedule: %s\n", chaos)
+	}
 	fmt.Printf("%-10s %-10s %-12s %-12s %-14s %-8s %-12s %-12s\n",
 		"served", "P99(ms)", "violations", "trainSteps", "loraOverhead", "syncs", "syncBytes", "virtTime(s)")
 	printStats := func(st liveupdate.Stats) {
@@ -88,7 +109,7 @@ func main() {
 			st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps,
 			st.MemoryOverhead, st.Syncs, st.SyncBytes, st.VirtualTime)
 	}
-	if *concurrency == 1 {
+	if *concurrency == 1 && len(chaos) == 0 {
 		for i := 1; i <= *requests; i++ {
 			if _, err := srv.Serve(gen.Next()); err != nil {
 				fatalf("serve: %v", err)
@@ -121,6 +142,15 @@ func main() {
 			fmt.Printf("  worker %-3d shards=%-8v served=%-8d busy=%-12v meanLat=%.3fms\n",
 				ws.Worker, ws.Shards, ws.Served, ws.Busy.Round(time.Millisecond), ws.MeanLatency*1000)
 		}
+		if len(chaos) > 0 {
+			fmt.Printf("\nchaos: %d/%d events applied\n", len(rep.Chaos), len(chaos))
+			for _, ae := range rep.Chaos {
+				fmt.Printf("  %-24s → request %-7d virtual %.3fs\n", ae.Event, ae.Request, ae.Virtual)
+			}
+			if rep.ChaosSkipped > 0 {
+				fmt.Printf("  (%d events skipped: trace ended before their timestamps)\n", rep.ChaosSkipped)
+			}
+		}
 	}
 	if st := srv.Stats(); len(st.Replicas) > 0 {
 		fmt.Println("\nper-replica breakdown:")
@@ -132,5 +162,9 @@ func main() {
 		}
 		fmt.Printf("\nfleet sync (%s): %d syncs, %d payload bytes, %.4f virtual s (%.4f compute + %.4f publish)\n",
 			*syncMode, st.Syncs, st.SyncBytes, st.SyncSeconds, st.SyncComputeSeconds, st.SyncPublishSeconds)
+		if st.Joins+st.Leaves+st.Fails > 0 {
+			fmt.Printf("fleet membership: %d active, %d joins, %d leaves, %d fails; catch-up %d bytes in %.4f virtual s\n",
+				st.Members, st.Joins, st.Leaves, st.Fails, st.CatchUpBytes, st.CatchUpSeconds)
+		}
 	}
 }

@@ -6,6 +6,14 @@
 // replica converges to identical effective embeddings — the paper's
 // replica-consistency requirement.
 //
+// Replica ownership is delegated to an internal/fleet membership
+// controller: the fleet is elastic. Replicas can Join, Leave, Fail, and be
+// Replaced at runtime while serving continues; a joining replica catches up
+// through an emt checkpoint restore plus a full LoRA state transfer billed
+// to the virtual sync clock, and routing follows the live member view
+// through one atomic pointer (the hash policy is a consistent-hash ring, so
+// a single membership change only remaps ~1/N of the keyspace).
+//
 // # Concurrency model
 //
 // A Cluster is safe for concurrent callers and is designed so independent
@@ -27,6 +35,18 @@
 //     (lora.Set.Publish). ServeShard never blocks on a periodic sync in
 //     async mode; manual SyncNow and ReplicasConsistent remain explicit
 //     barriers in both modes.
+//   - Membership reads are lock-free: the serve path loads the current
+//     fleet.View through an atomic pointer (under the fleet read lock, so a
+//     request never straddles a membership commit). Membership mutations
+//     hold syncMu — the mutex every merge (barrier periodic sync, async
+//     pipeline epoch, SyncNow, consistency probe) holds for its whole
+//     snapshot→merge→publish span — so a joiner's catch-up can never
+//     interleave with a publish, and they install the new view under a
+//     brief (O(members)) fleet write barrier so departing members' request
+//     counts fold exactly. The expensive parts — spawning and catching up a
+//     replica — run before that barrier; serving is never stopped
+//     fleet-wide for a membership change. Requests already routed to a slot
+//     whose member has since failed redirect to the next active slot.
 //   - Periodic syncs trigger on virtual-time epochs: epoch k starts when the
 //     fleet clock crosses k·SyncEvery, and each epoch is synced exactly
 //     once. Because a replica's virtual timeline depends only on its own
@@ -34,11 +54,12 @@
 //     virtual-time statistic — Served, Violations, sync counts, per-replica
 //     clocks and latency quantiles — is identical no matter how many
 //     goroutines drive the fleet, in either mode, as long as per-replica
-//     request order is preserved (see internal/driver, which guarantees
-//     exactly that). What async mode gives up is bit-identical adapter
-//     VALUES across runs: which training steps land before a given snapshot
-//     depends on wall-clock interleaving, the bounded-staleness window the
-//     paper's live-update design explicitly embraces.
+//     request order is preserved and membership changes land at
+//     deterministic points in the request sequence (see internal/driver,
+//     which guarantees both). What async mode gives up is bit-identical
+//     adapter VALUES across runs: which training steps land before a given
+//     snapshot depends on wall-clock interleaving, the bounded-staleness
+//     window the paper's live-update design explicitly embraces.
 package cluster
 
 import (
@@ -50,7 +71,7 @@ import (
 
 	"liveupdate/internal/collective"
 	"liveupdate/internal/core"
-	"liveupdate/internal/lora"
+	"liveupdate/internal/fleet"
 	"liveupdate/internal/metrics"
 	"liveupdate/internal/simnet"
 	"liveupdate/internal/trace"
@@ -91,9 +112,11 @@ type Config struct {
 	// options (same seed → same base checkpoint); local rank adaptation is
 	// force-disabled because Algorithm 3 exchanges factor rows, which
 	// requires a fleet-wide common rank (rank changes ride the full sync).
+	// Replicas admitted later (Join/Replace/Scale) are built the same way
+	// and then caught up from a live donor.
 	Base core.Options
 
-	// Replicas is the fleet size (≥ 1).
+	// Replicas is the initial fleet size (≥ 1).
 	Replicas int
 
 	// Router picks the serving replica per request. Defaults to round-robin.
@@ -108,10 +131,15 @@ type Config struct {
 	// means SyncAsync.
 	Mode SyncMode
 
-	// BandwidthBps and LatencySec describe the sync fabric links. Zero
-	// values default to 100 GbE / 1 ms.
+	// BandwidthBps and LatencySec describe the sync fabric links (also used
+	// to bill catch-up transfers). Zero values default to 100 GbE / 1 ms.
 	BandwidthBps float64
 	LatencySec   float64
+
+	// Chaos optionally attaches a default membership-event schedule to the
+	// cluster. It is advisory: the load driver picks it up when its own
+	// configuration carries no schedule (liveupdate.WithChaos wires this).
+	Chaos fleet.Schedule
 }
 
 // Validate reports configuration errors.
@@ -128,6 +156,9 @@ func (c Config) Validate() error {
 	if c.BandwidthBps < 0 || c.LatencySec < 0 {
 		return fmt.Errorf("cluster: link parameters must be non-negative")
 	}
+	if err := c.Chaos.Validate(); err != nil {
+		return fmt.Errorf("cluster: chaos schedule: %w", err)
+	}
 	return c.Base.Validate()
 }
 
@@ -135,23 +166,37 @@ func (c Config) Validate() error {
 // same Serve/Stats surface as a single core.System, so callers can scale
 // from one node to a fleet without changing the serving loop, and it is safe
 // for concurrent callers (see the package comment for the locking model).
+// Membership is elastic: see Join, Leave, FailReplica, ReplaceReplica, and
+// Scale.
 type Cluster struct {
-	cfg      Config
-	mode     SyncMode
-	replicas []*core.System
-	router   Router
-	sync     *collective.SyncGroup
-	async    *collective.AsyncSyncGroup
+	cfg    Config
+	mode   SyncMode
+	fleet  *fleet.Controller
+	router Router
+	sync   *collective.SyncGroup
+	async  *collective.AsyncSyncGroup
 
-	// syncClock accumulates virtual time spent inside priority-merge syncs,
-	// separate from the replicas' serving clocks.
+	// syncClock accumulates virtual time spent inside priority-merge syncs
+	// and catch-up transfers, separate from the replicas' serving clocks.
 	syncClock *simnet.Clock
 
 	// fleetMu is the serve/sync barrier: Serve holds it for read; barrier
 	// syncs (every periodic sync in barrier mode, SyncNow and consistency
-	// probes in both modes) hold it for write. The async pipeline never
-	// takes it.
+	// probes in both modes) hold it for write, as does the membership
+	// controller's install barrier (fold + view swap — O(members), so the
+	// serve stall is microseconds). The async pipeline's merge never takes
+	// it.
 	fleetMu sync.RWMutex
+	// syncMu serializes every merge (barrier-mode periodic syncs, each
+	// async pipeline epoch, SyncNow, consistency probes) with every
+	// membership mutation. Holding it across a mutation makes the
+	// catch-up's donor export and the joiner's install atomic with respect
+	// to publishes: no merged epoch can land between them, so a joiner can
+	// never miss a publish whose rows would not recur in later supports.
+	// Serving NEVER takes syncMu — a membership change or in-flight merge
+	// only ever stalls other merges, not requests. Lock order:
+	// syncMu → controller mutex → fleetMu → per-replica node locks.
+	syncMu sync.Mutex
 	// syncedEpoch is the last SyncEvery epoch a periodic sync has covered.
 	// Atomic: in barrier mode it is written under the fleet write lock, in
 	// async mode by the pipeline goroutine; serve-path trigger checks read
@@ -166,10 +211,11 @@ type Cluster struct {
 	// "in flight" and prove serving does not block behind it.
 	testSyncStall func()
 
-	// gen counts state-changing operations (serves, syncs); the merged-stats
-	// cache is keyed on it so Stats() is O(1) between changes. It is sharded
-	// by replica so concurrent workers bump disjoint cache lines on the
-	// serve hot path instead of contending on one atomic.
+	// gen counts state-changing operations (serves, syncs, membership
+	// changes); the merged-stats cache is keyed on it so Stats() is O(1)
+	// between changes. It is sharded by replica slot so concurrent workers
+	// bump disjoint cache lines on the serve hot path instead of contending
+	// on one atomic.
 	gen     *metrics.ShardedCounter
 	statsMu sync.Mutex
 	stats   core.Stats
@@ -178,7 +224,8 @@ type Cluster struct {
 }
 
 // New builds the fleet: Replicas identical Systems from cfg.Base (shared
-// base checkpoint), wired into one SyncGroup.
+// base checkpoint), owned by a fleet membership controller and wired into
+// one SyncGroup.
 func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -204,20 +251,41 @@ func New(cfg Config) (*Cluster, error) {
 		syncClock: simnet.NewClock(),
 		gen:       metrics.NewShardedCounter(cfg.Replicas),
 	}
-	sets := make([]*lora.Set, cfg.Replicas)
-	for i := range sets {
+	spawn := func() (*core.System, error) {
 		opts := cfg.Base
 		// All replicas must hold structurally compatible LoRA factors for
 		// the merge; see Config.Base.
 		opts.LoRA.DisableRankAdapt = true
-		sys, err := core.New(opts)
+		return core.New(opts)
+	}
+	seed := make([]*core.System, cfg.Replicas)
+	for i := range seed {
+		sys, err := spawn()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
-		c.replicas = append(c.replicas, sys)
-		sets[i] = sys.LoRA
+		seed[i] = sys
 	}
-	c.sync = collective.NewSyncGroup(sets, cfg.BandwidthBps, cfg.LatencySec)
+	c.fleet, err = fleet.NewController(fleet.Config{
+		Spawn:        spawn,
+		BandwidthBps: cfg.BandwidthBps,
+		LatencySec:   cfg.LatencySec,
+		SyncClock:    c.syncClock,
+		// Membership commits (stats fold + view swap) run with no serve in
+		// flight, so a request can neither finish on a member whose stats
+		// were already folded nor observe a half-installed view.
+		InstallBarrier: func(commit func()) {
+			c.fleetMu.Lock()
+			commit()
+			c.fleetMu.Unlock()
+		},
+	}, seed)
+	if err != nil {
+		return nil, err
+	}
+	// The SyncGroup carries link pricing and cumulative accounting; the
+	// replica set it syncs over is the live member view, passed per sync.
+	c.sync = collective.NewSyncGroup(nil, cfg.BandwidthBps, cfg.LatencySec)
 	c.async = collective.NewAsyncSyncGroup(c.sync)
 	if mode == SyncAsync && cfg.SyncEvery > 0 {
 		c.pipe = newSyncPipeline(c)
@@ -225,11 +293,22 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Size returns the number of replicas.
-func (c *Cluster) Size() int { return len(c.replicas) }
+// Size returns the number of active replicas.
+func (c *Cluster) Size() int { return c.fleet.View().NumActive() }
 
-// Replica exposes one replica System (read-mostly: experiments and tests).
-func (c *Cluster) Replica(i int) *core.System { return c.replicas[i] }
+// Replica exposes the System serving slot i (read-mostly: experiments and
+// tests). It returns nil when i is out of range or the slot is empty — its
+// member failed or left — so callers must check before dereferencing;
+// historically an out-of-range index panicked.
+func (c *Cluster) Replica(i int) *core.System {
+	if m := c.fleet.View().Member(i); m != nil {
+		return m.Sys
+	}
+	return nil
+}
+
+// Members returns the current membership view.
+func (c *Cluster) Members() *fleet.View { return c.fleet.View() }
 
 // RouterName returns the active routing policy's name.
 func (c *Cluster) RouterName() string { return c.router.Name() }
@@ -237,17 +316,38 @@ func (c *Cluster) RouterName() string { return c.router.Name() }
 // Mode returns the periodic-sync propagation mode.
 func (c *Cluster) Mode() SyncMode { return c.mode }
 
-// NumShards returns the number of independently-serving shards (replicas).
-// Together with ShardOf and ServeShard it lets a load driver pre-route
-// requests and preserve per-replica order across worker goroutines.
-func (c *Cluster) NumShards() int { return len(c.replicas) }
+// ChaosSchedule returns the membership-event schedule attached at
+// construction (nil when none was).
+func (c *Cluster) ChaosSchedule() fleet.Schedule { return c.cfg.Chaos }
 
-// ShardOf routes one request to a replica index without serving it. Routing
+// NumShards returns the shard-lane capacity: the highest slot index plus
+// one. Slots are stable for a member's lifetime and capacity only grows, so
+// a load driver's lane ownership survives membership churn; an empty slot
+// (failed/left member) simply receives no routed traffic.
+func (c *Cluster) NumShards() int { return c.fleet.View().NumSlots() }
+
+// ShardOf routes one request to a replica slot without serving it. Routing
 // and serving are deliberately split so a concurrent driver can route the
 // trace in a single deterministic sequence and then serve shards in
 // parallel. Each request must be routed exactly once: stateful routers
-// (round-robin) advance their cursor here.
-func (c *Cluster) ShardOf(s trace.Sample) int { return c.router.Route(s, c.replicas) }
+// (round-robin) advance their cursor here. Only active slots are returned.
+func (c *Cluster) ShardOf(s trace.Sample) int {
+	v := c.fleet.View()
+	if vr, ok := c.router.(fleet.ViewRouter); ok {
+		if m := vr.RouteView(s, v); m != nil {
+			return m.Slot
+		}
+		return -1
+	}
+	// Legacy router: it sees the active systems as a flat slice; its index
+	// maps back to the member's slot.
+	active := v.Active()
+	i := c.router.Route(s, v.ActiveSystems())
+	if i < 0 || i >= len(active) {
+		return -1 // surfaces as a routing error in ServeShard
+	}
+	return active[i].Slot
+}
 
 // Serve routes one request to a replica and serves it there (including that
 // replica's co-located training tick). Safe for concurrent callers; note
@@ -258,28 +358,42 @@ func (c *Cluster) Serve(s trace.Sample) (core.Response, error) {
 	return c.ServeShard(c.ShardOf(s), s)
 }
 
-// ServeShard serves one request on a specific replica, then fires any
+// ServeShard serves one request on a specific replica slot, then fires any
 // periodic LoRA syncs whose virtual-time epoch the fleet clock has crossed —
 // synchronously behind the fleet write lock in barrier mode, or handed to
 // the background pipeline (without ever taking a fleet-wide write lock) in
-// async mode.
+// async mode. A request aimed at a slot whose member has since failed or
+// left redirects to the next active slot — the lane drains instead of
+// erroring.
 func (c *Cluster) ServeShard(shard int, s trace.Sample) (core.Response, error) {
-	if shard < 0 || shard >= len(c.replicas) {
-		return core.Response{}, fmt.Errorf("cluster: router %s picked replica %d of %d",
-			c.router.Name(), shard, len(c.replicas))
-	}
 	if c.pipe != nil {
 		if err := c.pipe.Err(); err != nil {
 			return core.Response{}, err
 		}
 	}
+	// The view is resolved under the read lock: membership commits hold
+	// the write lock, so a member can never be folded out of the fleet
+	// totals while this request is mid-serve on it.
 	c.fleetMu.RLock()
-	resp, err := c.replicas[shard].Serve(s)
+	v := c.fleet.View()
+	if shard < 0 || shard >= v.NumSlots() {
+		c.fleetMu.RUnlock()
+		return core.Response{}, fmt.Errorf("cluster: router %s picked replica %d of %d",
+			c.router.Name(), shard, v.NumSlots())
+	}
+	m := v.Member(shard)
+	if m == nil {
+		if m = v.Redirect(shard); m == nil {
+			c.fleetMu.RUnlock()
+			return core.Response{}, fmt.Errorf("cluster: no active replicas")
+		}
+	}
+	resp, err := m.Sys.Serve(s)
 	if err != nil {
 		c.fleetMu.RUnlock()
 		return resp, err
 	}
-	resp.Replica = shard
+	resp.Replica = m.Slot
 	needBarrierSync := false
 	if d := c.cfg.SyncEvery.Seconds(); d > 0 {
 		if e := c.epochOf(d); e > c.syncedEpoch.Load() {
@@ -295,7 +409,7 @@ func (c *Cluster) ServeShard(shard int, s trace.Sample) (core.Response, error) {
 			}
 		}
 	}
-	c.gen.Add(shard, 1)
+	c.gen.Add(m.Slot%c.gen.Shards(), 1)
 	c.fleetMu.RUnlock()
 	if needBarrierSync {
 		if err := c.syncPendingEpochs(); err != nil {
@@ -310,13 +424,16 @@ func (c *Cluster) epochOf(d float64) int64 {
 	return int64(math.Floor(c.fleetClock() / d))
 }
 
-// syncPendingEpochs takes the fleet write lock and syncs once per epoch the
-// fleet clock has crossed since the last periodic sync — the barrier-mode
-// protocol. The recheck under the write lock makes racing callers
-// idempotent: whoever gets the lock first syncs, the rest observe
-// syncedEpoch caught up and do nothing.
+// syncPendingEpochs takes the sync mutex and the fleet write lock and syncs
+// once per epoch the fleet clock has crossed since the last periodic sync —
+// the barrier-mode protocol. The recheck under the locks makes racing
+// callers idempotent: whoever gets them first syncs, the rest observe
+// syncedEpoch caught up and do nothing; a membership change holding syncMu
+// simply defers the sync until its new view is installed.
 func (c *Cluster) syncPendingEpochs() error {
 	d := c.cfg.SyncEvery.Seconds()
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
 	c.fleetMu.Lock()
 	defer c.fleetMu.Unlock()
 	for target := c.epochOf(d); c.syncedEpoch.Load() < target; c.syncedEpoch.Add(1) {
@@ -328,17 +445,130 @@ func (c *Cluster) syncPendingEpochs() error {
 }
 
 // fleetClock returns the most advanced replica clock — the fleet's wall
-// time under concurrent serving. Clock reads are atomic, so this is safe
-// from any goroutine.
+// time under concurrent serving — including the high-water mark of members
+// that have since departed, so virtual time never runs backward across a
+// failure. Clock and view reads are atomic, so this is safe from any
+// goroutine.
 func (c *Cluster) fleetClock() float64 {
-	max := 0.0
-	for _, r := range c.replicas {
-		if t := r.Clock.Now(); t > max {
+	max := c.fleet.RetiredClock()
+	for _, sys := range c.fleet.View().ActiveSystems() {
+		if t := sys.Clock.Now(); t > max {
 			max = t
 		}
 	}
 	return max
 }
+
+// VirtualNow returns the fleet's current virtual time (the fleet clock).
+// Lock-free; the load driver reads it at drained checkpoints to evaluate
+// chaos-schedule timestamps deterministically.
+func (c *Cluster) VirtualNow() float64 { return c.fleetClock() }
+
+// --- Elastic membership -------------------------------------------------
+
+// membershipOp runs a membership mutation holding syncMu, so it is
+// mutually exclusive with every merge: barrier-mode periodic syncs, each
+// async pipeline epoch, SyncNow, and consistency probes all hold syncMu
+// for their whole snapshot→merge→publish span. A joiner's catch-up export
+// and install therefore cannot interleave with a publish — it can never
+// miss a merged epoch whose rows would not recur in later supports.
+// Serving never takes syncMu, so requests flow throughout; an epoch kicked
+// while the mutation runs simply merges afterwards, over the new view.
+func (c *Cluster) membershipOp(f func() error) error {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	if err := f(); err != nil {
+		return err
+	}
+	c.gen.Add(0, 1) // membership changed: invalidate the stats cache
+	return nil
+}
+
+// Join admits a fresh replica into the fleet (first empty slot, or a new
+// one), catching it up from the freshest active donor via checkpoint + full
+// LoRA transfer. It returns the new member's slot. Serving continues
+// throughout; only the donor is briefly locked for the export.
+func (c *Cluster) Join() (int, error) {
+	slot := -1
+	err := c.membershipOp(func() error {
+		m, _, err := c.fleet.Join()
+		if err != nil {
+			return err
+		}
+		slot = m.Slot
+		return nil
+	})
+	return slot, err
+}
+
+// Leave retires the replica in slot gracefully: its statistics fold into
+// the fleet totals and its slot empties (in-flight requests redirect).
+func (c *Cluster) Leave(slot int) error {
+	return c.membershipOp(func() error { return c.fleet.Leave(slot) })
+}
+
+// FailReplica kills the replica in slot — the crash path. The member is
+// excluded from routing immediately (the next view load), its lane
+// redirects, and its statistics fold into the fleet totals. The last active
+// replica cannot be failed.
+func (c *Cluster) FailReplica(slot int) error {
+	return c.membershipOp(func() error { return c.fleet.Fail(slot) })
+}
+
+// ReplaceReplica fails the replica in slot (if still present) and admits a
+// freshly caught-up replacement into the same slot in one membership
+// change. It returns the slot served by the replacement.
+func (c *Cluster) ReplaceReplica(slot int) (int, error) {
+	out := -1
+	err := c.membershipOp(func() error {
+		m, _, err := c.fleet.Replace(slot)
+		if err != nil {
+			return err
+		}
+		out = m.Slot
+		return nil
+	})
+	return out, err
+}
+
+// Scale grows or shrinks the active fleet to n replicas: joins fill empty
+// slots first, shrinks retire the highest slots gracefully.
+func (c *Cluster) Scale(n int) error {
+	return c.membershipOp(func() error {
+		_, err := c.fleet.Scale(n)
+		return err
+	})
+}
+
+// ApplyChaos applies one scripted membership event. The load driver calls
+// this at drained checkpoints; it is also a convenient programmatic entry
+// point for the same event grammar the -chaos flags accept.
+func (c *Cluster) ApplyChaos(ev fleet.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	switch ev.Action {
+	case fleet.Kill:
+		return c.FailReplica(ev.Arg)
+	case fleet.Replace:
+		_, err := c.ReplaceReplica(ev.Arg)
+		return err
+	case fleet.Join:
+		_, err := c.Join()
+		return err
+	case fleet.Leave:
+		return c.Leave(ev.Arg)
+	case fleet.Scale:
+		return c.Scale(ev.Arg)
+	}
+	return fmt.Errorf("cluster: unknown chaos action %q", ev.Action)
+}
+
+// FleetStats returns the membership controller's accounting snapshot
+// (member count, join/leave/fail counters, catch-up bill).
+func (c *Cluster) FleetStats() fleet.Stats { return c.fleet.Stats() }
+
+// --- Synchronization ----------------------------------------------------
 
 // syncPipeline drives asynchronous periodic syncs: serve-path triggers kick
 // it with the epoch target they observed, and a single background worker
@@ -428,21 +658,28 @@ func (p *syncPipeline) drain() error {
 
 // syncEpochAsync runs one epoch of the asynchronous protocol:
 //
-//  1. snapshot — each replica is locked individually, just long enough to
-//     export (and clear) its modified-row support;
-//  2. merge — PriorityMerge plus the simulated AllGather pricing run on a
-//     background goroutine (collective.AsyncSyncGroup), with the cost
-//     charged to the sync clock, not to any serving clock;
-//  3. publish — the merged state is installed per replica through
+//  1. snapshot — each live member is locked individually, just long enough
+//     to export (and clear) its modified-row support;
+//  2. merge — PriorityMergeRanked (member IDs are the priority ranks) plus
+//     the simulated AllGather pricing run on a background goroutine
+//     (collective.AsyncSyncGroup), with the cost charged to the sync clock,
+//     not to any serving clock;
+//  3. publish — the merged state is installed per member through
 //     epoch-versioned atomic pointer swaps.
 //
 // No step takes the fleet-wide write lock, so serving proceeds throughout.
+// The whole epoch holds syncMu: membership mutations are excluded for its
+// span, so the member set read here stays the member set published to, and
+// a joiner never misses a publish.
 func (c *Cluster) syncEpochAsync() error {
-	states := make([][]lora.TableState, len(c.replicas))
-	for i, r := range c.replicas {
-		states[i] = r.SnapshotLoRA()
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	members := c.fleet.View().Active()
+	states := make([]collective.RankedState, len(members))
+	for i, m := range members {
+		states[i] = collective.RankedState{Rank: m.ID, Tables: m.Sys.SnapshotLoRA()}
 	}
-	pending := c.async.Begin(states)
+	pending := c.async.BeginRanked(states)
 	if hook := c.testSyncStall; hook != nil {
 		hook()
 	}
@@ -450,8 +687,8 @@ func (c *Cluster) syncEpochAsync() error {
 	if err != nil {
 		return err
 	}
-	for _, r := range c.replicas {
-		r.PublishLoRA(merged, epoch)
+	for _, m := range members {
+		m.Sys.PublishLoRA(merged, epoch)
 	}
 	c.syncedEpoch.Add(1)
 	c.gen.Add(0, 1)
@@ -459,8 +696,10 @@ func (c *Cluster) syncEpochAsync() error {
 }
 
 // quiesceSyncs waits for the async pipeline (if any) to finish all epochs
-// kicked so far, so fleet-frozen operations and final statistics observe a
-// settled adapter state. No-op in barrier mode.
+// kicked so far, so final statistics observe a settled sync count. Callers
+// must hold NO cluster locks: the pipeline worker acquires syncMu per
+// epoch, and a membership mutation holding syncMu may need the fleet write
+// lock to commit. No-op in barrier mode.
 func (c *Cluster) quiesceSyncs() error { return c.pipe.drain() }
 
 // Err returns the async pipeline's sticky failure, if any (nil in barrier
@@ -470,45 +709,58 @@ func (c *Cluster) quiesceSyncs() error { return c.pipe.drain() }
 // carry an error — after a drive has ended.
 func (c *Cluster) Err() error { return c.pipe.Err() }
 
-// SyncNow runs one LoRA priority-merge synchronization across the fleet
-// (Algorithm 3 + tree AllGather) and returns its merge statistics. It is an
-// explicit barrier in both modes: it takes the fleet-wide write lock and
-// THEN drains any in-flight asynchronous epochs (safe: the pipeline never
-// touches fleetMu, and with the write lock held no serve can kick a new
-// one), so no background publish can land after SyncNow returns. After it
-// returns every replica holds identical adapter state. Manual syncs do not
-// consume periodic epochs.
+// SyncNow runs one LoRA priority-merge synchronization across the live
+// members (Algorithm 3 + tree AllGather) and returns its merge statistics.
+// It is an explicit barrier in both modes: it holds syncMu — waiting out
+// any in-flight asynchronous epoch or membership change — and the
+// fleet-wide write lock, so its merge interleaves with nothing. After it
+// returns every live member holds identical adapter state (an async epoch
+// kicked but not yet started runs afterwards and publishes uniformly, so
+// the invariant is preserved). Manual syncs do not consume periodic epochs.
 func (c *Cluster) SyncNow() (collective.MergeStats, error) {
-	c.fleetMu.Lock()
-	defer c.fleetMu.Unlock()
-	if err := c.quiesceSyncs(); err != nil {
+	if err := c.pipe.Err(); err != nil {
 		return collective.MergeStats{}, err
 	}
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
 	return c.syncLocked()
 }
 
-// lockReplicas freezes every replica's node mutex (ascending order, no
+// lockMembers freezes every given member's node mutex (slot order, no
 // cycles: nothing holds one replica's mutex while waiting on another's), so
 // fleet-wide mutations honor core.System's concurrency contract even for
 // callers driving a replica directly via Replica(i). Callers must hold
 // fleetMu for write.
-func (c *Cluster) lockReplicas() {
-	for _, r := range c.replicas {
-		r.Lock()
+func lockMembers(members []*fleet.Member) {
+	for _, m := range members {
+		m.Sys.Lock()
 	}
 }
 
-func (c *Cluster) unlockReplicas() {
-	for i := len(c.replicas) - 1; i >= 0; i-- {
-		c.replicas[i].Unlock()
+func unlockMembers(members []*fleet.Member) {
+	for i := len(members) - 1; i >= 0; i-- {
+		members[i].Sys.Unlock()
 	}
 }
 
-// syncLocked runs one sync; callers must hold the fleet write lock.
+// syncLocked runs one sync over the live member view; callers must hold the
+// fleet write lock.
 func (c *Cluster) syncLocked() (collective.MergeStats, error) {
-	c.lockReplicas()
-	stats, err := c.sync.Sync(c.syncClock)
-	c.unlockReplicas()
+	members := c.fleet.View().Active()
+	lockMembers(members)
+	states := make([]collective.RankedState, len(members))
+	for i, m := range members {
+		states[i] = collective.RankedState{Rank: m.ID, Tables: m.Sys.LoRA.Snapshot()}
+	}
+	merged, stats, epoch, err := c.sync.SyncRanked(c.syncClock, states)
+	if err == nil {
+		for _, m := range members {
+			m.Sys.LoRA.Publish(merged, epoch)
+		}
+	}
+	unlockMembers(members)
 	if err != nil {
 		return stats, fmt.Errorf("cluster: sync failed: %w", err)
 	}
@@ -517,22 +769,24 @@ func (c *Cluster) syncLocked() (collective.MergeStats, error) {
 }
 
 // ReplicasConsistent verifies the §II-C invariant: for the first idsPerTable
-// ids of every table, all replicas produce identical effective embedding
-// rows (base + LoRA delta). It is meaningful right after a sync. It takes
-// the fleet write lock and then drains the async pipeline (ordering matters:
-// with the write lock held no serve can kick a fresh epoch, so no background
-// publish can interleave with the probe), reading a frozen snapshot.
+// ids of every table, all live members produce identical effective embedding
+// rows (base + LoRA delta). It is meaningful right after a sync. It holds
+// syncMu (no merge or membership change can be mid-flight) and the fleet
+// write lock (no serve can train mid-probe), reading a frozen snapshot.
 func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
-	if len(c.replicas) < 2 {
-		return true
-	}
-	c.fleetMu.Lock()
-	defer c.fleetMu.Unlock()
-	if err := c.quiesceSyncs(); err != nil {
+	if c.pipe.Err() != nil {
 		return false
 	}
-	c.lockReplicas()
-	defer c.unlockReplicas()
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	c.fleetMu.Lock()
+	defer c.fleetMu.Unlock()
+	members := c.fleet.View().Active()
+	if len(members) < 2 {
+		return true
+	}
+	lockMembers(members)
+	defer unlockMembers(members)
 	p := c.cfg.Base.Profile
 	ref := make([]float64, p.EmbeddingDim)
 	probe := make([]float64, p.EmbeddingDim)
@@ -542,9 +796,9 @@ func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 			n = int32(p.TableSize)
 		}
 		for id := int32(0); id < n; id++ {
-			c.replicas[0].LoRA.EffectiveRow(table, id, ref)
-			for r := 1; r < len(c.replicas); r++ {
-				c.replicas[r].LoRA.EffectiveRow(table, id, probe)
+			members[0].Sys.LoRA.EffectiveRow(table, id, ref)
+			for r := 1; r < len(members); r++ {
+				members[r].Sys.LoRA.EffectiveRow(table, id, probe)
 				for d := range ref {
 					if probe[d] != ref[d] {
 						return false
@@ -556,10 +810,11 @@ func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 	return true
 }
 
-// Stats returns the merged fleet snapshot: exact sums for counters, a true
-// fleet-wide P99/P50 computed over the union of the replicas' latency
-// windows (not an average of per-replica quantiles), and the per-replica
-// breakdown in Replicas.
+// Stats returns the merged fleet snapshot: exact sums for counters
+// (including the folded contribution of members that have since departed),
+// a true fleet-wide P99/P50 computed over the union of the live members'
+// latency windows (not an average of per-replica quantiles), and the
+// per-replica breakdown in Replicas (live members, in slot order).
 //
 // In async mode Stats first drains the pipeline, so the snapshot reflects
 // every sync epoch the fleet had crossed when the call was made — which is
@@ -571,11 +826,13 @@ func (c *Cluster) ReplicasConsistent(idsPerTable int) bool {
 // When no latency samples have been retained anywhere in the fleet (nothing
 // served yet), P50 and P99 are NaN — the documented "no data" sentinel;
 // check with math.IsNaN rather than comparing against zero, which is a
-// legitimate latency floor.
+// legitimate latency floor. Departed members' latency windows are not
+// retained, so after churn the quantiles cover live members only (counters
+// still cover everyone).
 //
 // Merging is O(replicas × latency window); the result is cached and
-// recomputed only after state has changed (a serve or a sync), so polling
-// Stats in a reporting loop is cheap.
+// recomputed only after state has changed (a serve, a sync, or a membership
+// change), so polling Stats in a reporting loop is cheap.
 func (c *Cluster) Stats() core.Stats {
 	// Quiesce before reading the generation counter so a draining sync's
 	// publish lands inside this snapshot, not after it.
@@ -599,10 +856,36 @@ func cloneStats(st core.Stats) core.Stats {
 	return st
 }
 
-// mergedStats recomputes the fleet snapshot from the replicas.
+// mergedStats recomputes the fleet snapshot from the live members plus the
+// retired aggregate of departed ones.
 func (c *Cluster) mergedStats() core.Stats {
-	c.fleetMu.RLock()
-	defer c.fleetMu.RUnlock()
+	for {
+		// Controller accounting must be read BEFORE taking fleetMu: the
+		// membership install barrier acquires fleetMu while holding the
+		// controller's mutex, so nesting them the other way could deadlock.
+		// But a commit landing between these reads and the member iteration
+		// would leave the departing member counted in neither the retired
+		// aggregate nor the live view — so capture the view version first,
+		// and retry the rare snapshot that straddled a commit (none can
+		// land while the read lock is held).
+		v0 := c.fleet.View().Version
+		fs := c.fleet.Stats()
+		ret := c.fleet.Retired()
+		c.fleetMu.RLock()
+		if c.fleet.View().Version != v0 {
+			c.fleetMu.RUnlock()
+			continue
+		}
+		merged := c.mergedStatsLocked(fs, ret)
+		c.fleetMu.RUnlock()
+		return merged
+	}
+}
+
+// mergedStatsLocked merges the live members with the given controller
+// accounting; callers must hold fleetMu (read suffices — commits need the
+// write lock, so the membership cannot change mid-merge).
+func (c *Cluster) mergedStatsLocked(fs fleet.Stats, ret fleet.Retired) core.Stats {
 	merged := core.Stats{
 		VirtualTime: c.fleetClock(),
 	}
@@ -614,11 +897,24 @@ func (c *Cluster) mergedStats() core.Stats {
 	merged.SyncPublishSeconds = gs.PublishSeconds
 	merged.SLA = c.cfg.Base.Node.SLA
 
+	merged.Members = fs.Members
+	merged.Joins = fs.Joins
+	merged.Leaves = fs.Leaves
+	merged.Fails = fs.Fails
+	merged.CatchUpBytes = fs.CatchUpBytes
+	merged.CatchUpSeconds = fs.CatchUpSeconds
+
+	merged.Served = ret.Served
+	merged.Violations = ret.Violations
+	merged.TrainSteps = ret.TrainSteps
+	merged.FullSyncs = ret.FullSyncs
+	latencySum := ret.LatencySum
+	hitInf, hitTrain := ret.HitInfSum, ret.HitTrainSum
+
+	members := c.fleet.View().Active()
 	var lat []float64
-	var latencySum float64
-	var hitInf, hitTrain float64
-	for _, r := range c.replicas {
-		rs := r.Stats()
+	for _, m := range members {
+		rs := m.Sys.Stats()
 		merged.Served += rs.Served
 		merged.Violations += rs.Violations
 		merged.TrainSteps += rs.TrainSteps
@@ -630,7 +926,7 @@ func (c *Cluster) mergedStats() core.Stats {
 		// workload-level truth under skewed routing.
 		hitInf += rs.InferenceHitRatio * float64(rs.Served)
 		hitTrain += rs.TrainingHitRatio * float64(rs.Served)
-		lat = append(lat, r.LatencyWindow()...)
+		lat = append(lat, m.Sys.LatencyWindow()...)
 		merged.Replicas = append(merged.Replicas, rs)
 	}
 	if len(lat) == 0 {
@@ -649,8 +945,8 @@ func (c *Cluster) mergedStats() core.Stats {
 		merged.TrainingHitRatio = hitTrain / float64(merged.Served)
 	}
 	// Adapter footprint and rank are identical across replicas by
-	// construction; report one replica's view, not the sum.
-	merged.MemoryOverhead = c.replicas[0].MemoryOverhead()
-	merged.LoRARank = c.replicas[0].LoRARank()
+	// construction; report one live member's view, not the sum.
+	merged.MemoryOverhead = members[0].Sys.MemoryOverhead()
+	merged.LoRARank = members[0].Sys.LoRARank()
 	return merged
 }

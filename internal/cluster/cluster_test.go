@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"liveupdate/internal/core"
+	"liveupdate/internal/fleet"
 	"liveupdate/internal/trace"
 )
 
@@ -478,5 +480,288 @@ func TestMergedStats(t *testing.T) {
 	}
 	if st.VirtualTime <= 0 {
 		t.Fatal("fleet clock must advance")
+	}
+}
+
+// --- Elastic membership -------------------------------------------------
+
+func TestReplicaBoundsSafe(t *testing.T) {
+	c, err := New(testConfig(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 2, 99} {
+		if sys := c.Replica(i); sys != nil {
+			t.Fatalf("Replica(%d) = %v, want nil for out-of-range index", i, sys)
+		}
+	}
+	if c.Replica(0) == nil || c.Replica(1) == nil {
+		t.Fatal("in-range replicas must be non-nil")
+	}
+	if err := c.FailReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if sys := c.Replica(1); sys != nil {
+		t.Fatal("an emptied slot must expose a nil replica, not a corpse")
+	}
+}
+
+func TestClusterMembershipUnderServing(t *testing.T) {
+	for _, mode := range SyncModes() {
+		cfg := testConfig(t, 3)
+		cfg.SyncEvery = 50 * time.Millisecond
+		cfg.Mode = mode
+		// Keep every LoRA row resident: usage-based pruning evicts
+		// previously-published rows at per-replica (wall-clock-dependent in
+		// async mode) adapt boundaries, which can leave rows no later merge
+		// re-publishes — a sync-protocol quirk orthogonal to membership.
+		// With pruning disabled, post-churn consistency is structural.
+		cfg.Base.LoRA.PruneThresh = 0
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.MustNewGenerator(testProfile(t), 31)
+		serve := func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := c.Serve(gen.Next()); err != nil {
+					t.Fatalf("%s: serve: %v", mode, err)
+				}
+			}
+		}
+		serve(200)
+		if err := c.FailReplica(1); err != nil {
+			t.Fatalf("%s: fail: %v", mode, err)
+		}
+		if c.Size() != 2 || c.NumShards() != 3 {
+			t.Fatalf("%s: size=%d shards=%d after failure", mode, c.Size(), c.NumShards())
+		}
+		serve(200) // routing must avoid the empty slot
+		slot, err := c.ReplaceReplica(1)
+		if err != nil || slot != 1 {
+			t.Fatalf("%s: replace: slot=%d err=%v", mode, slot, err)
+		}
+		serve(200)
+		if err := c.Scale(5); err != nil {
+			t.Fatalf("%s: scale: %v", mode, err)
+		}
+		serve(200)
+		st := c.Stats()
+		if st.Served != 800 {
+			t.Fatalf("%s: merged Served=%d, want 800 (departed member's share folded in)", mode, st.Served)
+		}
+		// One fail (the kill; replacing the already-empty slot is a refill,
+		// not a second fail), three joins (refill + scale 3→5).
+		if st.Members != 5 || st.Fails != 1 || st.Joins != 3 {
+			t.Fatalf("%s: fleet counters: members=%d fails=%d joins=%d", mode, st.Members, st.Fails, st.Joins)
+		}
+		if st.CatchUpBytes == 0 || st.CatchUpSeconds <= 0 {
+			t.Fatalf("%s: catch-up bill missing: %+v", mode, st)
+		}
+		if st.Syncs == 0 {
+			t.Fatalf("%s: periodic syncs must keep firing across membership changes", mode)
+		}
+		// An explicit barrier merge must reconcile veterans and newcomers.
+		if _, err := c.SyncNow(); err != nil {
+			t.Fatalf("%s: SyncNow: %v", mode, err)
+		}
+		if !c.ReplicasConsistent(50) {
+			t.Fatalf("%s: fleet inconsistent after post-churn sync", mode)
+		}
+	}
+}
+
+// TestServeShardRedirectsEmptySlot covers the in-flight lane drain: a
+// request already routed to a slot whose member failed serves on the next
+// active slot instead of erroring.
+func TestServeShardRedirectsEmptySlot(t *testing.T) {
+	c, err := New(testConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 41)
+	resp, err := c.ServeShard(1, gen.Next())
+	if err != nil {
+		t.Fatalf("redirected serve failed: %v", err)
+	}
+	if resp.Replica != 2 {
+		t.Fatalf("request for empty slot 1 served by %d, want redirect to 2", resp.Replica)
+	}
+	if _, err := c.ServeShard(7, gen.Next()); err == nil {
+		t.Fatal("out-of-capacity shard must still error")
+	}
+}
+
+// TestHashRingMembershipRemap is the router contract under churn: failing
+// one of N replicas remaps only that replica's key share (≈1/N, never to
+// the failed slot), and the replacement claims a share back.
+func TestHashRingMembershipRemap(t *testing.T) {
+	const n = 5
+	cfg := testConfig(t, n)
+	r, err := NewRouter(Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Router = r
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 3000
+	gen := trace.MustNewGenerator(testProfile(t), 43)
+	samples := make([]trace.Sample, keys)
+	before := make([]int, keys)
+	for i := range samples {
+		samples[i] = gen.Next()
+		before[i] = c.ShardOf(samples[i])
+	}
+	if err := c.FailReplica(3); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i, s := range samples {
+		after := c.ShardOf(s)
+		if after == 3 {
+			t.Fatalf("key %d routed to the failed replica", i)
+		}
+		if before[i] == 3 {
+			moved++
+		} else if after != before[i] {
+			t.Fatalf("key %d moved %d → %d although its replica survived", i, before[i], after)
+		}
+	}
+	if moved == 0 || moved > 2*keys/n {
+		t.Fatalf("failure remapped %d/%d keys, want ≈%d (≤%d)", moved, keys, keys/n, 2*keys/n)
+	}
+	// The replacement takes over exactly the orphaned arcs plus nothing
+	// else it isn't entitled to: every key that moves lands on it.
+	slot, err := c.ReplaceReplica(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range samples {
+		after := c.ShardOf(s)
+		if before[i] != 3 && after != before[i] && after != slot {
+			t.Fatalf("key %d moved %d → %d after replace (only slot %d may claim keys)",
+				i, before[i], after, slot)
+		}
+	}
+}
+
+// TestLeastLoadedSkipsFailedMember: the backlog router must only ever pick
+// live members, even when the failed slot held the smallest clock.
+func TestLeastLoadedSkipsFailedMember(t *testing.T) {
+	cfg := testConfig(t, 3)
+	r, err := NewRouter(LeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Router = r
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 47)
+	// Load slots 0 and 2 so the idle slot 1 (clock 0) is the least loaded…
+	for i := 0; i < 60; i++ {
+		if _, err := c.ServeShard(i%2*2, gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.ShardOf(gen.Next()); got != 1 {
+		t.Fatalf("fixture: least-loaded should pick idle slot 1, got %d", got)
+	}
+	// …then kill it: the router must never surface the empty slot again.
+	if err := c.FailReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s := gen.Next()
+		if got := c.ShardOf(s); got == 1 {
+			t.Fatal("least-loaded routed to a failed member")
+		} else if _, err := c.ServeShard(got, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParseSyncModeErrorPaths(t *testing.T) {
+	for _, bad := range []string{"nope", "ASYNC", " async", "async ", "barrier\n", "sync"} {
+		if m, err := ParseSyncMode(bad); err == nil {
+			t.Fatalf("ParseSyncMode(%q) = %v, want error", bad, m)
+		}
+	}
+	cfg := testConfig(t, 2)
+	cfg.Chaos = fleet.Schedule{{At: -time.Second, Action: fleet.Kill, Arg: 0}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid chaos schedule must be rejected at construction")
+	}
+}
+
+// TestConcurrentServeAndMembershipExactCounts hammers the fleet from
+// serving goroutines while another goroutine churns membership (fail,
+// replace, scale, manual syncs). Two invariants pin the membership
+// concurrency fixes: no successfully served request may ever vanish from
+// the merged totals (a member's stats fold and its removal from the view
+// commit atomically behind the fleet write barrier), and a final merge must
+// reconcile every member including mid-churn joiners (catch-up holds the
+// sync mutex, so it can never interleave with a publish).
+func TestConcurrentServeAndMembershipExactCounts(t *testing.T) {
+	cfg := testConfig(t, 4)
+	cfg.SyncEvery = 30 * time.Millisecond
+	cfg.Base.LoRA.PruneThresh = 0 // see TestClusterMembershipUnderServing
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 4, 300
+	var served atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := trace.MustNewGenerator(testProfile(t), uint64(100+w))
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Serve(gen.Next()); err != nil {
+					t.Errorf("worker %d: serve: %v", w, err)
+					return
+				}
+				served.Add(1)
+			}
+		}(w)
+	}
+	churn := func() {
+		for i := 0; i < 12; i++ {
+			if err := c.FailReplica(i % c.NumShards()); err == nil {
+				if _, err := c.ReplaceReplica(i % c.NumShards()); err != nil {
+					t.Errorf("replace: %v", err)
+				}
+			}
+			if err := c.Scale(3 + i%3); err != nil {
+				t.Errorf("scale: %v", err)
+			}
+			if _, err := c.SyncNow(); err != nil {
+				t.Errorf("SyncNow: %v", err)
+			}
+		}
+	}
+	wg.Add(1)
+	go func() { defer wg.Done(); churn() }()
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Served != served.Load() {
+		t.Fatalf("merged Served=%d but %d requests completed successfully — a member's count was lost in a membership change",
+			st.Served, served.Load())
+	}
+	if _, err := c.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ReplicasConsistent(30) {
+		t.Fatal("fleet inconsistent after churn + final merge: a joiner missed a publish")
 	}
 }

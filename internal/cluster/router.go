@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"liveupdate/internal/core"
+	"liveupdate/internal/fleet"
 	"liveupdate/internal/trace"
 )
 
@@ -15,9 +16,18 @@ import (
 // assignment when requests are routed in a deterministic order (the
 // load-driver routes from a single sequencer goroutine for exactly this
 // reason).
+//
+// The built-in policies additionally implement fleet.ViewRouter and route
+// against the live membership view, so they keep working across joins,
+// leaves, and failures with no locking: the view (with its prebuilt
+// consistent-hash ring) swaps behind one atomic pointer. A custom Router
+// that only implements this flat-slice interface still works on an elastic
+// fleet — it is handed the active replicas and its index is mapped back to
+// the member's slot — but it re-observes the fleet as dense, so its
+// assignment reshuffles more than the ring policy on membership changes.
 type Router interface {
-	// Route returns the index in fleet of the replica to serve s.
-	Route(s trace.Sample, fleet []*core.System) int
+	// Route returns the index in replicas of the replica to serve s.
+	Route(s trace.Sample, replicas []*core.System) int
 	// Name identifies the policy in stats output and CLI flags.
 	Name() string
 }
@@ -26,15 +36,18 @@ type Router interface {
 type Policy string
 
 const (
-	// RoundRobin cycles through replicas in order — uniform load, no
-	// locality.
+	// RoundRobin cycles through the active replicas in order — uniform
+	// load, no locality.
 	RoundRobin Policy = "round-robin"
-	// LeastLoaded sends each request to the replica with the smallest
-	// virtual-time backlog, absorbing skew at the cost of locality.
+	// LeastLoaded sends each request to the active replica with the
+	// smallest virtual-time backlog, absorbing skew at the cost of locality.
 	LeastLoaded Policy = "least-loaded"
-	// Hash shards by the request's sparse feature ids, so requests touching
-	// the same embedding rows land on the same replica (embedding locality:
-	// hot rows stay resident in one replica's cache and LoRA support).
+	// Hash shards by the request's sparse feature ids over a consistent-hash
+	// ring keyed on stable member identities, so requests touching the same
+	// embedding rows land on the same replica (embedding locality: hot rows
+	// stay resident in one replica's cache and LoRA support) AND a single
+	// membership change only remaps ~1/N of the keyspace — the failed
+	// member's arcs move, everyone else's keys stay put.
 	Hash Policy = "hash"
 )
 
@@ -57,19 +70,41 @@ func NewRouter(p Policy) (Router, error) {
 
 type roundRobinRouter struct{ next atomic.Uint64 }
 
-func (r *roundRobinRouter) Route(_ trace.Sample, fleet []*core.System) int {
-	return int((r.next.Add(1) - 1) % uint64(len(fleet)))
+func (r *roundRobinRouter) Route(_ trace.Sample, replicas []*core.System) int {
+	return int((r.next.Add(1) - 1) % uint64(len(replicas)))
+}
+
+func (r *roundRobinRouter) RouteView(_ trace.Sample, v *fleet.View) *fleet.Member {
+	active := v.Active()
+	if len(active) == 0 {
+		return nil
+	}
+	return active[int((r.next.Add(1)-1)%uint64(len(active)))]
 }
 
 func (r *roundRobinRouter) Name() string { return string(RoundRobin) }
 
 type leastLoadedRouter struct{}
 
-func (leastLoadedRouter) Route(_ trace.Sample, fleet []*core.System) int {
+func (leastLoadedRouter) Route(_ trace.Sample, replicas []*core.System) int {
 	best := 0
-	for i := 1; i < len(fleet); i++ {
-		if fleet[i].Clock.Now() < fleet[best].Clock.Now() {
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].Clock.Now() < replicas[best].Clock.Now() {
 			best = i
+		}
+	}
+	return best
+}
+
+func (leastLoadedRouter) RouteView(_ trace.Sample, v *fleet.View) *fleet.Member {
+	active := v.Active()
+	if len(active) == 0 {
+		return nil
+	}
+	best := active[0]
+	for _, m := range active[1:] {
+		if m.Sys.Clock.Now() < best.Sys.Clock.Now() {
+			best = m
 		}
 	}
 	return best
@@ -79,27 +114,22 @@ func (leastLoadedRouter) Name() string { return string(LeastLoaded) }
 
 type hashRouter struct{}
 
-func (hashRouter) Route(s trace.Sample, fleet []*core.System) int {
-	// FNV-1a over (table, id) pairs: identical sparse feature sets always
-	// map to the same replica.
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint32) {
-		for shift := 0; shift < 32; shift += 8 {
-			h ^= uint64(byte(v >> shift))
-			h *= prime64
-		}
-	}
-	for t, ids := range s.Sparse {
-		mix(uint32(t))
-		for _, id := range ids {
-			mix(uint32(id))
-		}
-	}
-	return int(h % uint64(len(fleet)))
+// Route is the legacy flat-slice form: FNV-1a modulo the replica count.
+// Kept for custom callers holding a dense replica slice; the Cluster itself
+// routes through RouteView's consistent-hash ring.
+func (hashRouter) Route(s trace.Sample, replicas []*core.System) int {
+	return int(fleet.SampleKey(s) % uint64(len(replicas)))
+}
+
+func (hashRouter) RouteView(s trace.Sample, v *fleet.View) *fleet.Member {
+	return v.Route(fleet.SampleKey(s))
 }
 
 func (hashRouter) Name() string { return string(Hash) }
+
+// The built-in policies are membership-aware.
+var (
+	_ fleet.ViewRouter = (*roundRobinRouter)(nil)
+	_ fleet.ViewRouter = leastLoadedRouter{}
+	_ fleet.ViewRouter = hashRouter{}
+)

@@ -319,13 +319,24 @@ type syncCost struct {
 // state (publish phase). It does not touch the replicas, the clock, or the
 // cumulative stats, so it is safe to run on a background goroutine.
 func (sg *SyncGroup) merge(states [][]lora.TableState) ([]lora.TableState, MergeStats, syncCost, error) {
+	ranked := make([]RankedState, len(states))
+	for r, st := range states {
+		ranked[r] = RankedState{Rank: r, Tables: st}
+	}
+	return sg.mergeRanked(ranked)
+}
+
+// mergeRanked is merge over explicitly ranked states — the form an elastic
+// fleet uses, where the priority rank is a member's stable identity rather
+// than its position in a fixed replica slice.
+func (sg *SyncGroup) mergeRanked(states []RankedState) ([]lora.TableState, MergeStats, syncCost, error) {
 	var maxPayload int64
 	for _, st := range states {
-		if p := lora.PayloadBytes(st); p > maxPayload {
+		if p := lora.PayloadBytes(st.Tables); p > maxPayload {
 			maxPayload = p
 		}
 	}
-	merged, stats, err := PriorityMerge(states)
+	merged, stats, err := PriorityMergeRanked(states)
 	if err != nil {
 		return nil, stats, syncCost{}, err
 	}
@@ -337,6 +348,22 @@ func (sg *SyncGroup) merge(states [][]lora.TableState) ([]lora.TableState, Merge
 		wireBytes:      AllGatherBytes(n, maxPayload) + BroadcastBytes(n, mergedPayload),
 	}
 	return merged, stats, cost, nil
+}
+
+// SyncRanked runs one barrier-protocol sync over pre-taken ranked
+// snapshots: priority merge, collective pricing, cost charged to the clock,
+// accounting folded into the group totals. It returns the merged state and
+// the sync generation to stamp on published versions. Snapshotting and
+// publication stay with the caller — an elastic fleet snapshots whatever
+// members its live view holds, so the group's own replica list (if any) is
+// not consulted.
+func (sg *SyncGroup) SyncRanked(c *simnet.Clock, states []RankedState) ([]lora.TableState, MergeStats, int64, error) {
+	merged, stats, cost, err := sg.mergeRanked(states)
+	if err != nil {
+		return nil, stats, 0, err
+	}
+	epoch := sg.commit(cost, stats, c)
+	return merged, stats, epoch, nil
 }
 
 // commit charges one sync's cost to the clock and folds it into the
@@ -410,6 +437,17 @@ func (ag *AsyncSyncGroup) Begin(states [][]lora.TableState) *PendingMerge {
 	go func() {
 		defer close(p.done)
 		p.merged, p.stats, p.cost, p.err = ag.Group.merge(states)
+	}()
+	return p
+}
+
+// BeginRanked is Begin over explicitly ranked snapshots (the elastic-fleet
+// form: rank ids are member identities and need not be contiguous).
+func (ag *AsyncSyncGroup) BeginRanked(states []RankedState) *PendingMerge {
+	p := &PendingMerge{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.merged, p.stats, p.cost, p.err = ag.Group.mergeRanked(states)
 	}()
 	return p
 }

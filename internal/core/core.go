@@ -218,6 +218,22 @@ type Stats struct {
 	SyncSeconds        float64
 	SyncComputeSeconds float64
 	SyncPublishSeconds float64
+
+	// Elastic-fleet fields, populated by a Cluster whose membership changed
+	// at runtime (zero for a single System and for a static fleet). The
+	// counters cover the whole run, including members that have since
+	// departed; Members is the currently active fleet size.
+	Members int // active replicas at snapshot time (0 on a single System)
+	Joins   int // admissions after the seed fleet (join, replace, scale-up)
+	Leaves  int // graceful departures (leave, scale-down)
+	Fails   int // abrupt exclusions (fail, the fail half of replace)
+	// CatchUpBytes/CatchUpSeconds bill the checkpoint + LoRA transfers that
+	// brought joining replicas to the fleet epoch. The virtual time is
+	// charged to the sync clock like sync traffic but reported separately
+	// from SyncSeconds, so steady-state sync cost stays comparable across
+	// runs with and without churn.
+	CatchUpBytes   int64
+	CatchUpSeconds float64
 }
 
 // Serve processes one request through the serving path, interleaving

@@ -21,6 +21,21 @@
 // Wall-clock fields of the Report (Elapsed, QPS, per-worker Busy) are real
 // measured time and naturally vary between runs; everything derived from the
 // virtual clock does not.
+//
+// # Chaos schedules
+//
+// A drive over an Elastic server can carry a fleet.Schedule of membership
+// events (kill/replace/join/leave/scale) pinned to virtual timestamps. The
+// sequencer evaluates the schedule at drain points — every ChaosEvery
+// routed requests it waits for all in-flight requests to finish, reads the
+// fleet's virtual clock, and applies every due event. Over a drained trace
+// prefix the fleet clock depends only on which requests were served and
+// where they were routed, both of which are deterministic, so the request
+// index at which each event lands (and with it every downstream
+// virtual-time statistic) is identical for any worker count. Shard lanes of
+// replicas that join mid-drive attach to workers by the same static
+// slot%workers rule; lanes of failed replicas simply stop receiving routed
+// traffic.
 package driver
 
 import (
@@ -32,6 +47,7 @@ import (
 	"time"
 
 	"liveupdate/internal/core"
+	"liveupdate/internal/fleet"
 	"liveupdate/internal/metrics"
 	"liveupdate/internal/tensor"
 	"liveupdate/internal/trace"
@@ -61,6 +77,19 @@ type ShardedServer interface {
 	ServeShard(int, trace.Sample) (core.Response, error)
 }
 
+// Elastic is a sharded server whose replica membership can change while it
+// serves — a Cluster backed by the fleet controller. The driver needs it to
+// run a chaos schedule: events apply through ApplyChaos, and VirtualNow
+// anchors the schedule's virtual timestamps.
+type Elastic interface {
+	ShardedServer
+	// ApplyChaos applies one membership event (kill/replace/join/leave/
+	// scale).
+	ApplyChaos(fleet.Event) error
+	// VirtualNow returns the fleet's virtual clock.
+	VirtualNow() float64
+}
+
 // Config configures a drive.
 type Config struct {
 	// Requests is the number of samples to pump (required, > 0).
@@ -84,6 +113,21 @@ type Config struct {
 	// every ProgressEvery served requests (calls are serialized).
 	ProgressEvery int
 	OnProgress    func(served uint64)
+
+	// Chaos is a scripted membership-event schedule applied during the
+	// drive; it requires a server implementing Elastic. Events fire at
+	// deterministic drain points: every ChaosEvery routed requests the
+	// sequencer waits for all in-flight requests to complete, reads the
+	// fleet's virtual clock — which, over a drained prefix of the trace, is
+	// a pure function of (workload seed, schedule so far) — and applies
+	// every event whose timestamp has been reached. The request index at
+	// which each event lands is therefore identical for any worker count.
+	Chaos fleet.Schedule
+
+	// ChaosEvery is the drain-point cadence in requests (default 64).
+	// Smaller values tighten how closely event timestamps are honored at
+	// the cost of more frequent pipeline drains.
+	ChaosEvery int
 }
 
 // reservoirCap bounds per-worker latency reservoirs (algorithm R).
@@ -126,8 +170,71 @@ type Report struct {
 
 	Cancelled bool // context cancelled before all requests were served
 
+	// Chaos lists the schedule events applied during the drive, in
+	// application order; ChaosSkipped counts scheduled events whose virtual
+	// timestamp the trace never reached. Both are deterministic for a fixed
+	// (workload seed, schedule), regardless of worker count.
+	Chaos        []AppliedEvent
+	ChaosSkipped int
+
 	PerWorker []WorkerStats // per-worker breakdown, in worker order
 	Final     core.Stats    // server stats snapshot taken after the drive
+}
+
+// AppliedEvent records one chaos event's application point.
+type AppliedEvent struct {
+	Event   fleet.Event
+	Request int     // trace index the sequencer was about to route
+	Virtual float64 // fleet virtual clock at the drain point, seconds
+}
+
+// drainGate lets the sequencer wait until every routed request has been
+// served — the quiescent point at which chaos events apply. It is active
+// only when a chaos schedule is present, so chaos-free drives pay nothing.
+type drainGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	aborted  bool
+}
+
+func newDrainGate() *drainGate {
+	g := &drainGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *drainGate) add() {
+	g.mu.Lock()
+	g.inflight++
+	g.mu.Unlock()
+}
+
+func (g *drainGate) done() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// abort wakes any waiter permanently (drive cancelled or failed).
+func (g *drainGate) abort() {
+	g.mu.Lock()
+	g.aborted = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// wait blocks until in-flight work drains; false means the drive aborted.
+func (g *drainGate) wait() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.inflight > 0 && !g.aborted {
+		g.cond.Wait()
+	}
+	return !g.aborted
 }
 
 // item is one routed request in flight from the sequencer to a worker.
@@ -171,6 +278,23 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 		}
 	}
 
+	var elastic Elastic
+	chaos := cfg.Chaos.Sorted()
+	if len(chaos) > 0 {
+		if err := chaos.Validate(); err != nil {
+			return Report{}, fmt.Errorf("driver: %w", err)
+		}
+		e, ok := srv.(Elastic)
+		if !ok {
+			return Report{}, fmt.Errorf("driver: chaos schedule needs an elastic server, got %T", srv)
+		}
+		elastic = e
+	}
+	checkEvery := cfg.ChaosEvery
+	if checkEvery <= 0 {
+		checkEvery = 64
+	}
+
 	// ctx drives external cancellation; abort stops the drive on the first
 	// serve error without overloading the caller's context.
 	ctx, cancel := context.WithCancel(ctx)
@@ -188,16 +312,29 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 	for w := range queues {
 		queues[w] = make(chan item, depth)
 	}
+	// Static shard→worker ownership. It extends to shards that do not exist
+	// yet: a replica joining mid-drive (chaos) gets a lane on worker
+	// slot%workers with per-shard FIFO order intact, no queue rebuild.
 	ownerOf := func(shard int) int { return shard % workers }
-	ownedShards := make([][]int, workers)
-	for s := 0; s < shards; s++ {
-		w := ownerOf(s)
-		ownedShards[w] = append(ownedShards[w], s)
+
+	var gate *drainGate
+	if elastic != nil {
+		gate = newDrainGate()
+		// Wake a draining sequencer if the drive dies while it waits.
+		go func() {
+			<-ctx.Done()
+			gate.abort()
+		}()
 	}
 
 	var progress metrics.Counter
 	var progressMu sync.Mutex
 	perWorker := make([]WorkerStats, workers)
+
+	// Chaos bookkeeping: written only by the sequencer, read after its
+	// WaitGroup settles.
+	var applied []AppliedEvent
+	chaosSkipped := 0
 
 	start := time.Now()
 
@@ -214,19 +351,49 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 				close(q)
 			}
 		}()
+		seqShards := shards
+		nextEv := 0
+		// Computed in a defer so a cancelled or aborted drive still reports
+		// how many scheduled events never fired.
+		defer func() { chaosSkipped = len(chaos) - nextEv }()
 		for i := 0; i < cfg.Requests; i++ {
+			// Chaos drain point: all in-flight requests complete, so the
+			// fleet clock read here is a pure function of the served prefix
+			// — the same at this request index for any worker count.
+			if gate != nil && nextEv < len(chaos) && i > 0 && i%checkEvery == 0 {
+				if !gate.wait() {
+					return
+				}
+				now := elastic.VirtualNow()
+				for nextEv < len(chaos) && chaos[nextEv].At.Seconds() <= now {
+					ev := chaos[nextEv]
+					if err := elastic.ApplyChaos(ev); err != nil {
+						abort(fmt.Errorf("driver: chaos event %s: %w", ev, err))
+						return
+					}
+					applied = append(applied, AppliedEvent{Event: ev, Request: i, Virtual: now})
+					nextEv++
+				}
+				seqShards = elastic.NumShards() // capacity may have grown
+			}
 			s := next()
 			shard := 0
 			if isSharded {
 				shard = sharded.ShardOf(s)
-				if shard < 0 || shard >= shards {
-					abort(fmt.Errorf("driver: ShardOf routed request %d to shard %d of %d", i, shard, shards))
+				if shard < 0 || shard >= seqShards {
+					abort(fmt.Errorf("driver: ShardOf routed request %d to shard %d of %d", i, shard, seqShards))
 					return
 				}
+			}
+			if gate != nil {
+				gate.add()
 			}
 			select {
 			case queues[ownerOf(shard)] <- item{shard: shard, sample: s}:
 			case <-ctx.Done():
+				if gate != nil {
+					gate.done()
+				}
 				return
 			}
 		}
@@ -259,6 +426,9 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 						resp, err = srv.Serve(it.sample)
 					}
 					busy += time.Since(t0)
+					if gate != nil {
+						gate.done()
+					}
 					if err != nil {
 						abort(fmt.Errorf("driver: worker %d shard %d: %w", w, it.shard, err))
 						break loop
@@ -282,7 +452,7 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 					break loop
 				}
 			}
-			ws := WorkerStats{Worker: w, Shards: ownedShards[w], Served: seen, Busy: busy}
+			ws := WorkerStats{Worker: w, Served: seen, Busy: busy}
 			ws.P99Latency = math.NaN() // idle: quantile undefined, mirror Cluster.Stats
 			if seen > 0 {
 				ws.MeanLatency = latSum / float64(seen)
@@ -296,6 +466,16 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 	seqWG.Wait()
 	elapsed := time.Since(start)
 
+	// Shard count and lane ownership are reported against the final
+	// topology: chaos may have grown the slot capacity mid-drive.
+	if isSharded {
+		shards = sharded.NumShards()
+	}
+	for s := 0; s < shards; s++ {
+		w := ownerOf(s)
+		perWorker[w].Shards = append(perWorker[w].Shards, s)
+	}
+
 	var servedTotal uint64
 	for _, ws := range perWorker {
 		servedTotal += ws.Served
@@ -308,9 +488,11 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 		Elapsed:  elapsed,
 		// A drive that finished all its requests is complete, even if the
 		// context happened to expire in the same instant.
-		Cancelled: driveErr == nil && ctx.Err() != nil && servedTotal < uint64(cfg.Requests),
-		PerWorker: perWorker,
-		Final:     srv.Stats(),
+		Cancelled:    driveErr == nil && ctx.Err() != nil && servedTotal < uint64(cfg.Requests),
+		Chaos:        applied,
+		ChaosSkipped: chaosSkipped,
+		PerWorker:    perWorker,
+		Final:        srv.Stats(),
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(rep.Served) / elapsed.Seconds()

@@ -7,9 +7,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"liveupdate/internal/cluster"
 	"liveupdate/internal/core"
+	"liveupdate/internal/fleet"
 	"liveupdate/internal/trace"
 )
 
@@ -77,6 +79,16 @@ func keyOf(st core.Stats) keyStats {
 	}
 	for _, rs := range st.Replicas {
 		rs.Replicas = nil
+		// Adapter-content metrics are NOT part of the worker-count
+		// invariance contract (which covers virtual-time statistics): a
+		// periodic sync snapshots whatever each replica's support holds at
+		// the barrier, and how far a replica's lane has drained at that
+		// wall-clock instant depends on queue occupancy, which varies with
+		// the worker count. The merged VALUES land somewhere either way
+		// (this epoch or the next) without touching any virtual clock, but
+		// row-census metrics derived from them may differ.
+		rs.LoRAHotRows = 0
+		rs.MemoryOverhead = 0
 		k.perReplica = append(k.perReplica, rs)
 	}
 	return k
@@ -389,5 +401,166 @@ func TestDriveHammersClusterRace(t *testing.T) {
 	}
 	if !c.ReplicasConsistent(20) {
 		t.Fatal("replicas inconsistent after final sync")
+	}
+}
+
+// --- Chaos schedules ----------------------------------------------------
+
+// chaosCluster builds an elastic fleet fixture for chaos drives. Pruning is
+// disabled so post-churn consistency is structural (usage-based pruning
+// evicts published rows at per-replica adapt boundaries — a sync-protocol
+// quirk orthogonal to membership).
+func chaosCluster(t testing.TB, replicas int, mode cluster.SyncMode) *cluster.Cluster {
+	t.Helper()
+	opts := core.DefaultOptions(testProfile(t), 42)
+	opts.TrainInterval = 4
+	opts.LoRA.PruneThresh = 0
+	r, err := cluster.NewRouter(cluster.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{
+		Base:      opts,
+		Replicas:  replicas,
+		Router:    r,
+		SyncEvery: 500 * time.Millisecond,
+		Mode:      mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDriveChaosKillReplaceDeterministic is the elastic-fleet acceptance
+// drive: a scripted schedule kills a replica mid-trace, replaces it, and
+// scales the fleet — and the run completes with zero failed requests, the
+// replacement reaches the fleet epoch (ReplicasConsistent after the
+// post-drive drain + merge), and every virtual-time statistic, including
+// where in the request sequence each chaos event landed, is identical for
+// any worker count, in both sync modes.
+func TestDriveChaosKillReplaceDeterministic(t *testing.T) {
+	const requests = 4000
+	schedule := fleet.Schedule{
+		{At: 1 * time.Second, Action: fleet.Kill, Arg: 1},
+		{At: 1500 * time.Millisecond, Action: fleet.Replace, Arg: 1},
+		{At: 2 * time.Second, Action: fleet.Scale, Arg: 5},
+	}
+	type chaosKey struct {
+		stats  keyStats
+		events []AppliedEvent
+		fleet  [5]int // members, joins, leaves, fails, shards
+	}
+	for _, mode := range cluster.SyncModes() {
+		var want chaosKey
+		for i, workers := range []int{1, 3, 8} {
+			c := chaosCluster(t, 4, mode)
+			gen := trace.MustNewGenerator(testProfile(t), 7)
+			rep, err := Drive(context.Background(), c, gen.Next, Config{
+				Requests: requests, Workers: workers, Seed: 1, Chaos: schedule,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mode, workers, err)
+			}
+			if rep.Served != requests {
+				t.Fatalf("%s workers=%d: served %d of %d — chaos dropped requests",
+					mode, workers, rep.Served, requests)
+			}
+			if len(rep.Chaos) != len(schedule) || rep.ChaosSkipped != 0 {
+				t.Fatalf("%s workers=%d: applied %d events (skipped %d), want all %d — raise the trace length or lower the timestamps",
+					mode, workers, len(rep.Chaos), rep.ChaosSkipped, len(schedule))
+			}
+			got := chaosKey{
+				stats:  keyOf(rep.Final),
+				events: rep.Chaos,
+				fleet: [5]int{rep.Final.Members, rep.Final.Joins, rep.Final.Leaves,
+					rep.Final.Fails, rep.Shards},
+			}
+			if rep.Final.Members != 5 || rep.Final.Fails != 1 || rep.Final.Joins != 2 {
+				t.Fatalf("%s workers=%d: fleet counters members=%d fails=%d joins=%d, want 5/1/2",
+					mode, workers, rep.Final.Members, rep.Final.Fails, rep.Final.Joins)
+			}
+			if rep.Final.CatchUpBytes == 0 || rep.Final.CatchUpSeconds <= 0 {
+				t.Fatalf("%s workers=%d: catch-up bill missing: %+v", mode, workers, rep.Final)
+			}
+			// The replacement must carry load after rejoining.
+			if sys := c.Replica(1); sys == nil || sys.Stats().Served == 0 {
+				t.Fatalf("%s workers=%d: replacement in slot 1 served nothing", mode, workers)
+			}
+			// Catch-up + post-churn syncs must reconcile the whole fleet.
+			if _, err := c.SyncNow(); err != nil {
+				t.Fatalf("%s workers=%d: SyncNow: %v", mode, workers, err)
+			}
+			if !c.ReplicasConsistent(50) {
+				t.Fatalf("%s workers=%d: fleet inconsistent after drain + merge", mode, workers)
+			}
+			if i == 0 {
+				want = got
+				continue
+			}
+			if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+				t.Fatalf("%s: chaos drive diverges between worker counts:\n  want %+v\n  got(%d) %+v",
+					mode, want, workers, got)
+			}
+		}
+	}
+}
+
+// TestDriveChaosScaleAddsLanes: replicas joining mid-drive get shard lanes
+// (slot%workers) and actually absorb routed traffic.
+func TestDriveChaosScaleAddsLanes(t *testing.T) {
+	c := chaosCluster(t, 2, cluster.SyncAsync)
+	gen := trace.MustNewGenerator(testProfile(t), 19)
+	rep, err := Drive(context.Background(), c, gen.Next, Config{
+		Requests: 3000, Workers: 2, Seed: 3,
+		Chaos: fleet.Schedule{{At: 500 * time.Millisecond, Action: fleet.Scale, Arg: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 4 {
+		t.Fatalf("final shard capacity %d, want 4 after scale-up", rep.Shards)
+	}
+	if len(rep.Chaos) != 1 {
+		t.Fatalf("scale event never fired: %+v", rep)
+	}
+	for slot := 2; slot < 4; slot++ {
+		sys := c.Replica(slot)
+		if sys == nil || sys.Stats().Served == 0 {
+			t.Fatalf("joined replica in slot %d absorbed no traffic", slot)
+		}
+	}
+	// Lane bookkeeping covers the grown topology.
+	owned := map[int]bool{}
+	for _, ws := range rep.PerWorker {
+		for _, s := range ws.Shards {
+			owned[s] = true
+		}
+	}
+	for s := 0; s < 4; s++ {
+		if !owned[s] {
+			t.Fatalf("shard %d missing from worker lane report: %+v", s, rep.PerWorker)
+		}
+	}
+}
+
+func TestDriveChaosConfigErrors(t *testing.T) {
+	schedule := fleet.Schedule{{At: time.Second, Action: fleet.Kill, Arg: 0}}
+	sys, err := core.New(core.DefaultOptions(testProfile(t), 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 5)
+	if _, err := Drive(context.Background(), sys, gen.Next, Config{
+		Requests: 10, Chaos: schedule,
+	}); err == nil {
+		t.Fatal("chaos against a non-elastic server must be a config error")
+	}
+	c := chaosCluster(t, 2, cluster.SyncAsync)
+	bad := fleet.Schedule{{At: -time.Second, Action: fleet.Kill, Arg: 0}}
+	if _, err := Drive(context.Background(), c, gen.Next, Config{
+		Requests: 10, Chaos: bad,
+	}); err == nil {
+		t.Fatal("invalid schedule must be a config error")
 	}
 }

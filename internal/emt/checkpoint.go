@@ -19,6 +19,17 @@ import (
 const (
 	checkpointMagic   = "EMTC"
 	checkpointVersion = 1
+
+	// Hostile-input allocation caps: ReadCheckpoint validates every header
+	// field against these BEFORE allocating, so a tiny crafted header cannot
+	// force a multi-gigabyte allocation. The largest legitimate profiles are
+	// thousands of rows × tens of dims; the caps leave orders of magnitude
+	// of headroom while bounding a single table's weights at 1 GiB and a
+	// whole checkpoint at 4 GiB of float64 storage.
+	maxCheckpointTables = 1 << 16
+	maxCheckpointName   = 1 << 12
+	maxTableElems       = 1 << 27 // rows×dim per table (1 GiB of float64)
+	maxCheckpointElems  = 1 << 29 // rows×dim summed over tables (4 GiB)
 )
 
 // WriteCheckpoint serializes the group's tables to w.
@@ -82,18 +93,18 @@ func ReadCheckpoint(r io.Reader) (*Group, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxTables = 1 << 16
-	if count == 0 || count > maxTables {
-		return nil, fmt.Errorf("emt: implausible table count %d", count)
+	if count == 0 || count > maxCheckpointTables {
+		return nil, fmt.Errorf("emt: implausible table count %d (max %d)", count, maxCheckpointTables)
 	}
 	g := &Group{}
+	var totalElems uint64
 	for i := uint32(0); i < count; i++ {
 		nameLen, err := readU32(br)
 		if err != nil {
 			return nil, err
 		}
-		if nameLen > 1<<12 {
-			return nil, fmt.Errorf("emt: implausible name length %d", nameLen)
+		if nameLen > maxCheckpointName {
+			return nil, fmt.Errorf("emt: implausible name length %d (max %d)", nameLen, maxCheckpointName)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, name); err != nil {
@@ -107,8 +118,14 @@ func ReadCheckpoint(r io.Reader) (*Group, error) {
 		if err != nil {
 			return nil, err
 		}
-		if rows == 0 || dim == 0 || uint64(rows)*uint64(dim) > 1<<32 {
-			return nil, fmt.Errorf("emt: implausible table shape %dx%d", rows, dim)
+		elems := uint64(rows) * uint64(dim)
+		if rows == 0 || dim == 0 || elems > maxTableElems {
+			return nil, fmt.Errorf("emt: implausible table shape %dx%d (max %d elements)",
+				rows, dim, maxTableElems)
+		}
+		if totalElems += elems; totalElems > maxCheckpointElems {
+			return nil, fmt.Errorf("emt: implausible checkpoint: %d cumulative elements (max %d)",
+				totalElems, maxCheckpointElems)
 		}
 		var version uint64
 		if err := binary.Read(br, binary.LittleEndian, &version); err != nil {

@@ -64,9 +64,15 @@ type Options struct {
 	Seed  uint64
 	Quick bool // reduced sample counts for tests/benchmarks
 
-	// SyncMode restricts fleet-serving experiments (syncpipe) to one sync
-	// propagation mode ("async" or "barrier"); empty runs their default set.
+	// SyncMode restricts fleet-serving experiments (syncpipe, elastic) to
+	// one sync propagation mode ("async" or "barrier"); empty runs their
+	// default set.
 	SyncMode string
+
+	// Chaos overrides the elastic experiment's built-in membership-event
+	// schedule with a parsed chaos script (the -chaos flag grammar); empty
+	// uses the built-in kill/replace/scale sequence.
+	Chaos string
 }
 
 // Runner executes one experiment.
@@ -96,6 +102,7 @@ func Registry() map[string]Runner {
 
 		// Beyond the paper: serving-stack experiments.
 		"syncpipe": Syncpipe,
+		"elastic":  Elastic,
 	}
 }
 
@@ -104,7 +111,7 @@ func IDs() []string {
 	return []string{
 		"table2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig14", "table3", "fig15", "fig16",
-		"fig17", "fig18", "fig19", "syncpipe",
+		"fig17", "fig18", "fig19", "syncpipe", "elastic",
 	}
 }
 

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseScript(t *testing.T) {
+	s, err := ParseScript("@2s kill 1; 500ms replace 0 ;@1m scale 6; @0s join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule{
+		{At: 2 * time.Second, Action: Kill, Arg: 1},
+		{At: 500 * time.Millisecond, Action: Replace, Arg: 0},
+		{At: time.Minute, Action: Scale, Arg: 6},
+		{At: 0, Action: Join},
+	}
+	if len(s) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("event %d: %+v, want %+v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, src := range []string{
+		"",                    // empty
+		"   ;  ; ",            // only separators
+		"kill 1",              // missing timestamp
+		"@2s explode 1",       // unknown action
+		"@2s kill",            // missing slot
+		"@2s kill one",        // non-numeric slot
+		"@2s kill -1",         // negative slot
+		"@2s join 3",          // join takes no operand
+		"@2s scale 0",         // fleet cannot scale to zero
+		"@-2s kill 1",         // negative timestamp
+		"@2parsecs kill 1",    // bad duration unit
+		"@2s kill 1 and more", // trailing tokens
+	} {
+		if _, err := ParseScript(src); err == nil {
+			t.Fatalf("script %q must be rejected", src)
+		}
+	}
+}
+
+func TestScheduleSortedIsStable(t *testing.T) {
+	s := Schedule{
+		{At: 2 * time.Second, Action: Kill, Arg: 1},
+		{At: time.Second, Action: Scale, Arg: 4},
+		{At: 2 * time.Second, Action: Replace, Arg: 1}, // same instant as the kill
+	}
+	got := s.Sorted()
+	if got[0].Action != Scale || got[1].Action != Kill || got[2].Action != Replace {
+		t.Fatalf("sorted order wrong: %v", got)
+	}
+	// Original untouched.
+	if s[0].Action != Kill {
+		t.Fatal("Sorted must not mutate the receiver")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{At: 1500 * time.Millisecond, Action: Kill, Arg: 2}
+	if got := ev.String(); got != "@1.5s kill 2" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Event{At: time.Second, Action: Join}).String(); got != "@1s join" {
+		t.Fatalf("join String() = %q", got)
+	}
+	// Round trip through the parser.
+	s, err := ParseScript(Schedule{ev, {At: time.Second, Action: Join}}.String())
+	if err != nil || len(s) != 2 || s[0] != ev {
+		t.Fatalf("round trip failed: %v %v", s, err)
+	}
+}

@@ -1,0 +1,354 @@
+package fleet
+
+import (
+	"testing"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/simnet"
+	"liveupdate/internal/trace"
+)
+
+func testProfile(t testing.TB) trace.Profile {
+	t.Helper()
+	p, err := trace.ProfileByName("criteo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NumTables = 3
+	p.TableSize = 300
+	p.NumDense = 4
+	p.MultiHot = []int{1, 1, 1}
+	return p
+}
+
+func testSpawn(t testing.TB) func() (*core.System, error) {
+	t.Helper()
+	opts := core.DefaultOptions(testProfile(t), 42)
+	opts.TrainInterval = 4
+	opts.LoRA.DisableRankAdapt = true
+	return func() (*core.System, error) { return core.New(opts) }
+}
+
+func testController(t testing.TB, n int, cfg Config) *Controller {
+	t.Helper()
+	spawn := testSpawn(t)
+	if cfg.Spawn == nil {
+		cfg.Spawn = spawn
+	}
+	seed := make([]*core.System, n)
+	for i := range seed {
+		sys, err := spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed[i] = sys
+	}
+	c, err := NewController(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// serveSome pumps a few requests through one member so it accrues clock,
+// stats, and LoRA training state.
+func serveSome(t testing.TB, m *Member, seed uint64, n int) {
+	t.Helper()
+	gen := trace.MustNewGenerator(testProfile(t), seed)
+	for i := 0; i < n; i++ {
+		if _, err := m.Sys.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	c := testController(t, 3, Config{})
+	v := c.View()
+	if v.NumSlots() != 3 || v.NumActive() != 3 {
+		t.Fatalf("seed view: %d slots, %d active", v.NumSlots(), v.NumActive())
+	}
+	for i, m := range v.Active() {
+		if m.ID != i || m.Slot != i {
+			t.Fatalf("seed member %d: ID=%d Slot=%d", i, m.ID, m.Slot)
+		}
+	}
+
+	// Fail the middle member: slot empties, capacity stays.
+	if err := c.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	v = c.View()
+	if v.NumSlots() != 3 || v.NumActive() != 2 || v.Member(1) != nil {
+		t.Fatalf("after fail: slots=%d active=%d slot1=%v", v.NumSlots(), v.NumActive(), v.Member(1))
+	}
+	if err := c.Fail(1); err == nil {
+		t.Fatal("failing an empty slot must error")
+	}
+
+	// Join refills the empty slot with a fresh identity.
+	m, cu, err := c.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slot != 1 || m.ID != 3 {
+		t.Fatalf("join landed ID=%d Slot=%d, want fresh ID 3 in slot 1", m.ID, m.Slot)
+	}
+	if cu.DonorID < 0 || cu.CheckpointBytes == 0 {
+		t.Fatalf("join must catch up from a donor: %+v", cu)
+	}
+
+	// A second join extends capacity.
+	m, _, err = c.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slot != 3 || c.View().NumSlots() != 4 {
+		t.Fatalf("join beyond capacity: slot=%d slots=%d", m.Slot, c.View().NumSlots())
+	}
+
+	st := c.Stats()
+	if st.Members != 4 || st.Joins != 2 || st.Fails != 1 || st.Leaves != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLastMemberCannotBeRemoved(t *testing.T) {
+	c := testController(t, 1, Config{})
+	if err := c.Fail(0); err == nil {
+		t.Fatal("failing the last member must be refused")
+	}
+	if err := c.Leave(0); err == nil {
+		t.Fatal("the last member leaving must be refused")
+	}
+	if _, err := c.Scale(0); err == nil {
+		t.Fatal("scaling to zero must be refused")
+	}
+}
+
+func TestFailFoldsRetiredStats(t *testing.T) {
+	c := testController(t, 2, Config{})
+	m := c.View().Member(0)
+	serveSome(t, m, 11, 40)
+	clock := m.Sys.Clock.Now()
+	if clock <= 0 {
+		t.Fatal("fixture did not advance the clock")
+	}
+	if err := c.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	ret := c.Retired()
+	if ret.Served != 40 || ret.MaxClock != clock {
+		t.Fatalf("retired fold: %+v (want served=40 clock=%v)", ret, clock)
+	}
+	if c.RetiredClock() != clock {
+		t.Fatalf("lock-free retired clock %v != %v", c.RetiredClock(), clock)
+	}
+}
+
+// TestCatchUpMatchesDonor is the catch-up contract: a joiner's effective
+// embeddings equal the donor's, row for row, and the transfer is billed to
+// the sync clock.
+func TestCatchUpMatchesDonor(t *testing.T) {
+	clock := simnet.NewClock()
+	c := testController(t, 2, Config{SyncClock: clock})
+	donor := c.View().Member(0)
+	serveSome(t, donor, 13, 200) // train: hot LoRA rows diverge from base
+
+	m, cu, err := c.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cu.DonorID != donor.ID {
+		// Member 0 and 1 are both at epoch -1; ties break to the lowest ID.
+		t.Fatalf("donor %d, want %d", cu.DonorID, donor.ID)
+	}
+	if cu.LoRABytes == 0 || cu.CheckpointBytes == 0 || cu.Seconds <= 0 {
+		t.Fatalf("catch-up bill empty: %+v", cu)
+	}
+	if clock.Now() != cu.Seconds {
+		t.Fatalf("sync clock %v, want catch-up charge %v", clock.Now(), cu.Seconds)
+	}
+	p := testProfile(t)
+	ref := make([]float64, p.EmbeddingDim)
+	got := make([]float64, p.EmbeddingDim)
+	for table := 0; table < p.NumTables; table++ {
+		for id := int32(0); id < int32(p.TableSize); id++ {
+			donor.Sys.LoRA.EffectiveRow(table, id, ref)
+			m.Sys.LoRA.EffectiveRow(table, id, got)
+			for d := range ref {
+				if ref[d] != got[d] {
+					t.Fatalf("table %d id %d dim %d: joiner %v != donor %v", table, id, d, got[d], ref[d])
+				}
+			}
+		}
+	}
+	if m.Sys.AdapterEpoch() != donor.Sys.AdapterEpoch() {
+		t.Fatalf("joiner epoch %d != donor %d", m.Sys.AdapterEpoch(), donor.Sys.AdapterEpoch())
+	}
+}
+
+func TestReplaceReusesSlotWithFreshIdentity(t *testing.T) {
+	c := testController(t, 3, Config{})
+	old := c.View().Member(2)
+	serveSome(t, old, 17, 40)
+	m, cu, err := c.Replace(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slot != 2 || m.ID == old.ID {
+		t.Fatalf("replacement ID=%d Slot=%d (old ID=%d)", m.ID, m.Slot, old.ID)
+	}
+	if cu.DonorID == old.ID {
+		t.Fatal("replacement must catch up from a survivor, not the corpse")
+	}
+	st := c.Stats()
+	if st.Members != 3 || st.Fails != 1 || st.Joins != 1 {
+		t.Fatalf("stats after replace: %+v", st)
+	}
+	if c.Retired().Served != 40 {
+		t.Fatalf("old member's stats not folded: %+v", c.Retired())
+	}
+	// Replacing an empty slot refills it without another fail.
+	if err := c.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Replace(1); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Fails != 2 || st.Joins != 2 || st.Members != 3 {
+		t.Fatalf("stats after empty-slot replace: %+v", st)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := testController(t, 2, Config{})
+	if delta, err := c.Scale(5); err != nil || delta != 3 {
+		t.Fatalf("scale up: delta=%d err=%v", delta, err)
+	}
+	if v := c.View(); v.NumActive() != 5 {
+		t.Fatalf("active %d after scale 5", v.NumActive())
+	}
+	if delta, err := c.Scale(2); err != nil || delta != -3 {
+		t.Fatalf("scale down: delta=%d err=%v", delta, err)
+	}
+	v := c.View()
+	if v.NumActive() != 2 || v.NumSlots() != 5 {
+		t.Fatalf("after scale down: active=%d slots=%d (capacity must not shrink)",
+			v.NumActive(), v.NumSlots())
+	}
+	st := c.Stats()
+	if st.Joins != 3 || st.Leaves != 3 {
+		t.Fatalf("scale accounting: %+v", st)
+	}
+}
+
+func TestRedirect(t *testing.T) {
+	c := testController(t, 3, Config{})
+	if err := c.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	v := c.View()
+	if m := v.Redirect(1); m == nil || m.Slot != 2 {
+		t.Fatalf("redirect(1) = %+v, want slot 2", m)
+	}
+	if err := c.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	v = c.View()
+	if m := v.Redirect(1); m == nil || m.Slot != 0 {
+		t.Fatalf("redirect(1) after double failure = %+v, want wrap to slot 0", m)
+	}
+}
+
+// TestRingRemapFraction is the consistent-hash contract: removing one of N
+// members moves exactly the keys that member owned (≈1/N) and leaves every
+// other key's assignment untouched; a subsequent join only claims keys for
+// the newcomer.
+func TestRingRemapFraction(t *testing.T) {
+	const n = 5
+	c := testController(t, n, Config{})
+	gen := trace.MustNewGenerator(testProfile(t), 23)
+	const keys = 4000
+	samples := make([]trace.Sample, keys)
+	before := make([]int, keys)
+	v := c.View()
+	for i := range samples {
+		samples[i] = gen.Next()
+		before[i] = v.Route(SampleKey(samples[i])).Slot
+	}
+
+	if err := c.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	v = c.View()
+	moved := 0
+	for i, s := range samples {
+		after := v.Route(SampleKey(s)).Slot
+		if after == 2 {
+			t.Fatalf("key %d routed to the failed member", i)
+		}
+		if before[i] == 2 {
+			moved++ // orphaned keys must move somewhere
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("key %d: survivor assignment moved %d → %d on an unrelated failure",
+				i, before[i], after)
+		}
+	}
+	// The failed member's share should be near 1/N (vnode placement jitters
+	// it; 2/N is a generous ceiling, and it must not be zero).
+	if moved == 0 || moved > 2*keys/n {
+		t.Fatalf("leave remapped %d/%d keys, want ≈%d (≤%d)", moved, keys, keys/n, 2*keys/n)
+	}
+
+	// Join: only the newcomer's share moves, and every moved key lands on it.
+	base := make([]int, keys)
+	for i, s := range samples {
+		base[i] = v.Route(SampleKey(s)).Slot
+	}
+	m, _, err := c.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = c.View()
+	claimed := 0
+	for i, s := range samples {
+		after := v.Route(SampleKey(s)).Slot
+		if after == base[i] {
+			continue
+		}
+		if after != m.Slot {
+			t.Fatalf("key %d moved %d → %d, but only the joiner (slot %d) may claim keys",
+				i, base[i], after, m.Slot)
+		}
+		claimed++
+	}
+	if claimed == 0 || claimed > 2*keys/n {
+		t.Fatalf("join remapped %d/%d keys, want ≈%d (≤%d)", claimed, keys, keys/n, 2*keys/n)
+	}
+}
+
+func TestSpawnRequiredForGrowth(t *testing.T) {
+	spawn := testSpawn(t)
+	seed := make([]*core.System, 2)
+	for i := range seed {
+		sys, err := spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed[i] = sys
+	}
+	c, err := NewController(Config{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Join(); err == nil {
+		t.Fatal("join without a Spawn factory must error")
+	}
+	if err := c.Fail(0); err != nil {
+		t.Fatalf("fail must still work without Spawn: %v", err)
+	}
+}

@@ -443,6 +443,19 @@ func (a *Adapter) ExportSupport() []RowUpdate {
 	return out
 }
 
+// ExportAllRows snapshots every active A row — not just the modified
+// support — as deep copies in id order: the full-state payload a joining
+// replica restores during fleet catch-up. The support set is untouched.
+func (a *Adapter) ExportAllRows() []RowUpdate {
+	st := a.cur.Load()
+	out := make([]RowUpdate, 0, len(st.rows))
+	for id, row := range st.rows {
+		out = append(out, RowUpdate{ID: id, Row: append([]float64(nil), row...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // SupportSize returns |S_r|, the number of ids modified since ResetSupport.
 func (a *Adapter) SupportSize() int { return len(a.supp) }
 

@@ -179,6 +179,21 @@ func (s *Set) ExportState() []TableState {
 	return out
 }
 
+// ExportFull snapshots every adapter's complete state — all active rows
+// (not just the modified supports) plus the shared factors — as deep
+// copies. This is the catch-up payload a replica joining the fleet installs
+// with Publish: unlike Snapshot it carries rows from every past sync epoch,
+// so the joiner matches a veteran's accumulated state, and it does NOT
+// clear the supports (the exporter keeps participating in its next sync
+// normally). Owner-only, like Snapshot.
+func (s *Set) ExportFull() []TableState {
+	out := make([]TableState, len(s.Adapters))
+	for i, a := range s.Adapters {
+		out[i] = TableState{Rows: a.ExportAllRows(), B: a.B(), Rank: a.Rank()}
+	}
+	return out
+}
+
 // ApplyState installs a synced snapshot (winner of the priority merge). Each
 // adapter swaps in its new rows and B factor with one atomic store, so
 // concurrent lock-free readers see either the pre- or post-sync state of a

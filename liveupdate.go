@@ -6,16 +6,19 @@
 //     co-located node (System) or a replica fleet with request routing and
 //     periodic LoRA priority-merge synchronization (Cluster) — propagated,
 //     by default, through a versioned asynchronous pipeline that never
-//     blocks serving (see WithSyncMode);
+//     blocks serving (see WithSyncMode). The fleet is elastic: replicas
+//     join, leave, fail, and are replaced at runtime with checkpoint + LoRA
+//     catch-up (ElasticServer, WithChaos, DriveConfig.Chaos);
 //   - the baselines the paper compares against: NoUpdate, DeltaUpdate, and
 //     QuickUpdate, behind a single comparison harness (Comparison);
 //   - the evaluation suite: every table and figure of the paper's §V can be
 //     regenerated with RunExperiment.
 //
 // The heavy machinery lives in internal/ packages (tensor math, DLRM,
-// embedding tables, LoRA adapters, the replica fleet, the discrete-event
-// cluster simulation, and the NUMA hardware model); this package re-exports
-// the surface a downstream user needs.
+// embedding tables, LoRA adapters, the replica fleet and its elastic
+// membership controller (internal/fleet), the discrete-event cluster
+// simulation, and the NUMA hardware model); this package re-exports the
+// surface a downstream user needs.
 //
 // Quickstart — single node:
 //
@@ -54,13 +57,14 @@ import (
 	"liveupdate/internal/core"
 	"liveupdate/internal/driver"
 	"liveupdate/internal/experiments"
+	"liveupdate/internal/fleet"
 	"liveupdate/internal/numasim"
 	"liveupdate/internal/trace"
 	"liveupdate/internal/update"
 )
 
 // Version identifies this reproduction release.
-const Version = "2.1.0"
+const Version = "2.2.0"
 
 // Server is the unified serving abstraction: one request in, a scored
 // response out, plus a consistent statistics snapshot. Both the single-node
@@ -86,6 +90,55 @@ var (
 	_ Server = (*System)(nil)
 	_ Server = (*Cluster)(nil)
 )
+
+// ElasticServer is a Server whose replica fleet can change at runtime while
+// it keeps serving: replicas can be scaled, failed, and replaced, with a
+// joining replica caught up from a live donor (base-table checkpoint + full
+// LoRA state, billed to the virtual sync clock). A Cluster implements it; a
+// single-node System does not. Richer membership surgery (Join/Leave of
+// specific slots, the live member view) lives on *Cluster directly.
+type ElasticServer interface {
+	Server
+	// Scale grows or shrinks the active fleet to n replicas.
+	Scale(n int) error
+	// FailReplica kills the replica in a slot: it is excluded from routing
+	// immediately, in-flight requests to its lane redirect, and its
+	// statistics fold into the fleet totals.
+	FailReplica(slot int) error
+	// ReplaceReplica fails the replica in a slot (if present) and admits a
+	// freshly caught-up replacement into the same slot, returning that slot.
+	ReplaceReplica(slot int) (int, error)
+}
+
+var _ ElasticServer = (*Cluster)(nil)
+
+// ChaosEvent is one scripted membership change at a virtual timestamp.
+type ChaosEvent = fleet.Event
+
+// ChaosAction names a membership event kind.
+type ChaosAction = fleet.Action
+
+// The chaos actions: kill/replace/leave take a slot operand, scale takes
+// the target fleet size, join takes none.
+const (
+	ChaosKill    = fleet.Kill
+	ChaosReplace = fleet.Replace
+	ChaosJoin    = fleet.Join
+	ChaosLeave   = fleet.Leave
+	ChaosScale   = fleet.Scale
+)
+
+// ChaosSchedule is an ordered set of chaos events, applied by Drive at
+// deterministic drain points (see DriveConfig.Chaos).
+type ChaosSchedule = fleet.Schedule
+
+// AppliedChaosEvent records where in a drive a chaos event landed.
+type AppliedChaosEvent = driver.AppliedEvent
+
+// ParseChaosScript parses the -chaos flag grammar: events separated by ';',
+// each "@<duration> <action> [arg]" — e.g. "@2s kill 1; @4s replace 1;
+// @6s scale 6". Durations are virtual time.
+func ParseChaosScript(src string) (ChaosSchedule, error) { return fleet.ParseScript(src) }
 
 // Response is the result of serving one request.
 type Response = core.Response
@@ -193,6 +246,7 @@ type config struct {
 	router    RouterPolicy
 	syncEvery time.Duration
 	syncMode  SyncMode
+	chaos     ChaosSchedule
 	legacy    *core.Options
 	overrides []func(*core.Options)
 }
@@ -267,6 +321,21 @@ func WithSyncMode(m SyncMode) Option {
 			return err
 		}
 		c.syncMode = mode
+		return nil
+	})
+}
+
+// WithChaos attaches a membership-event schedule to the fleet: Drive picks
+// it up automatically when its own DriveConfig carries no schedule, so a
+// server can be constructed "pre-loaded" with the churn it should survive.
+// It requires WithReplicas(n) with n > 1 — a single node has no membership
+// to change.
+func WithChaos(schedule ChaosSchedule) Option {
+	return optionFunc(func(c *config) error {
+		if err := schedule.Validate(); err != nil {
+			return fmt.Errorf("liveupdate: WithChaos: %w", err)
+		}
+		c.chaos = schedule
 		return nil
 	})
 }
@@ -358,6 +427,9 @@ func New(opts ...Option) (Server, error) {
 		edit(&base)
 	}
 	if c.replicas == 1 {
+		if len(c.chaos) > 0 {
+			return nil, fmt.Errorf("liveupdate: WithChaos requires a fleet (WithReplicas > 1)")
+		}
 		return core.New(base)
 	}
 	router, err := cluster.NewRouter(c.router)
@@ -370,6 +442,7 @@ func New(opts ...Option) (Server, error) {
 		Router:    router,
 		SyncEvery: c.syncEvery,
 		Mode:      c.syncMode,
+		Chaos:     c.chaos,
 	})
 }
 
@@ -398,6 +471,19 @@ type DriveConfig struct {
 	// drive-wide count at the time of the callback.
 	ProgressEvery int
 	OnProgress    func(served uint64)
+
+	// Chaos is a membership-event schedule applied during the drive; the
+	// Server must be elastic (a Cluster). Events fire at deterministic
+	// drain points — every ChaosEvery routed requests the driver lets all
+	// in-flight requests complete, reads the fleet's virtual clock, and
+	// applies every event whose timestamp has been reached — so a fixed
+	// (seed, schedule) pair reproduces the same event placement for any
+	// Concurrency. Empty falls back to the schedule attached with
+	// WithChaos, if any.
+	Chaos ChaosSchedule
+
+	// ChaosEvery is the drain-point cadence in requests (default 64).
+	ChaosEvery int
 }
 
 // DriveReport is Drive's result: wall-clock throughput (QPS, Elapsed),
@@ -430,6 +516,13 @@ func DriveContext(ctx context.Context, srv Server, workload *Workload, cfg Drive
 	if workload == nil {
 		return DriveReport{}, fmt.Errorf("liveupdate: Drive requires a workload")
 	}
+	chaos := cfg.Chaos
+	if len(chaos) == 0 {
+		// Fall back to the schedule attached at construction (WithChaos).
+		if p, ok := srv.(interface{ ChaosSchedule() fleet.Schedule }); ok {
+			chaos = p.ChaosSchedule()
+		}
+	}
 	return driver.Drive(ctx, srv, workload.Next, driver.Config{
 		Requests:      cfg.Requests,
 		Workers:       cfg.Concurrency,
@@ -437,6 +530,8 @@ func DriveContext(ctx context.Context, srv Server, workload *Workload, cfg Drive
 		Seed:          cfg.Seed,
 		ProgressEvery: cfg.ProgressEvery,
 		OnProgress:    cfg.OnProgress,
+		Chaos:         chaos,
+		ChaosEvery:    cfg.ChaosEvery,
 	})
 }
 
@@ -492,9 +587,12 @@ type ExperimentConfig struct {
 	Seed uint64
 	// Quick reduces sample counts (tests, smoke runs).
 	Quick bool
-	// SyncMode restricts fleet-serving experiments (syncpipe) to one sync
-	// propagation mode; the zero value runs their default mode set.
+	// SyncMode restricts fleet-serving experiments (syncpipe, elastic) to
+	// one sync propagation mode; the zero value runs their default mode set.
 	SyncMode SyncMode
+	// ChaosScript overrides the elastic experiment's built-in
+	// kill/replace/scale schedule (ParseChaosScript grammar).
+	ChaosScript string
 }
 
 // RunExperiment regenerates one paper table/figure and returns its printable
@@ -510,7 +608,12 @@ func RunExperimentWith(id string, cfg ExperimentConfig) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("liveupdate: unknown experiment %q (valid: %v)", id, experiments.IDs())
 	}
-	rep, err := runner(experiments.Options{Seed: cfg.Seed, Quick: cfg.Quick, SyncMode: string(cfg.SyncMode)})
+	rep, err := runner(experiments.Options{
+		Seed:     cfg.Seed,
+		Quick:    cfg.Quick,
+		SyncMode: string(cfg.SyncMode),
+		Chaos:    cfg.ChaosScript,
+	})
 	if err != nil {
 		return "", err
 	}

@@ -185,10 +185,10 @@ func TestRunExperimentUnknownIDError(t *testing.T) {
 
 func TestExperimentIDsStable(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(ids))
 	}
-	for _, want := range []string{"fig14", "table3", "fig16", "fig19"} {
+	for _, want := range []string{"fig14", "table3", "fig16", "fig19", "elastic"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
@@ -198,5 +198,89 @@ func TestExperimentIDsStable(t *testing.T) {
 		if !found {
 			t.Fatalf("missing experiment %q", want)
 		}
+	}
+}
+
+func TestWithChaosDrivePublicAPI(t *testing.T) {
+	p := smallProfile(t)
+	schedule, err := ParseChaosScript("@500ms kill 1; @900ms replace 1; @1300ms scale 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(
+		WithProfile(p),
+		WithSeed(42),
+		WithReplicas(3),
+		WithRouter(HashRouter),
+		WithSyncEvery(300*time.Millisecond),
+		WithChaos(schedule),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ElasticServer surface must be reachable from the public type.
+	if _, ok := srv.(ElasticServer); !ok {
+		t.Fatalf("%T must implement ElasticServer", srv)
+	}
+	// Drive picks the attached schedule up without DriveConfig.Chaos.
+	rep, err := Drive(srv, NewWorkload(p, 7), DriveConfig{Requests: 3000, Concurrency: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served != 3000 {
+		t.Fatalf("served %d of 3000 under churn", rep.Served)
+	}
+	if len(rep.Chaos)+rep.ChaosSkipped != len(schedule) {
+		t.Fatalf("chaos accounting: applied %d + skipped %d != %d scheduled",
+			len(rep.Chaos), rep.ChaosSkipped, len(schedule))
+	}
+	if len(rep.Chaos) == 0 {
+		t.Fatal("no chaos event fired; fixture timestamps too late")
+	}
+	st := srv.Stats()
+	if st.Fails == 0 || st.Members == 0 {
+		t.Fatalf("fleet counters missing after churn: %+v", st)
+	}
+}
+
+func TestWithChaosValidation(t *testing.T) {
+	p := smallProfile(t)
+	if _, err := New(WithProfile(p), WithChaos(ChaosSchedule{{At: time.Second, Action: ChaosKill, Arg: 0}})); err == nil {
+		t.Fatal("WithChaos on a single node must be rejected")
+	}
+	if _, err := New(WithProfile(p), WithReplicas(2),
+		WithChaos(ChaosSchedule{{At: -time.Second, Action: ChaosKill, Arg: 0}})); err == nil {
+		t.Fatal("invalid schedule must be rejected")
+	}
+	if _, err := ParseChaosScript("@1s detonate 2"); err == nil {
+		t.Fatal("unknown chaos action must be rejected")
+	}
+}
+
+func TestElasticServerScaleAndFail(t *testing.T) {
+	p := smallProfile(t)
+	srv, err := New(WithProfile(p), WithReplicas(2), WithSyncEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := srv.(ElasticServer)
+	if err := es.Scale(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.FailReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if slot, err := es.ReplaceReplica(0); err != nil || slot != 0 {
+		t.Fatalf("replace: slot=%d err=%v", slot, err)
+	}
+	gen := NewWorkload(p, 9)
+	for i := 0; i < 50; i++ {
+		if _, err := srv.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Members != 4 || st.Served != 50 {
+		t.Fatalf("post-churn stats: members=%d served=%d", st.Members, st.Served)
 	}
 }
