@@ -89,6 +89,37 @@ func BenchmarkServeRequest(b *testing.B) {
 	}
 }
 
+// BenchmarkServeRequestNoAlloc measures the scoring half of the serving fast
+// path in isolation: the DLRM forward through the LoRA embedding source,
+// running on a pooled forward scratch outside the node's bookkeeping lock.
+// After warmup it performs zero heap allocations per request — CI's
+// alloc-gate step fails the build if allocs/op ever reads above 0.
+func BenchmarkServeRequestNoAlloc(b *testing.B) {
+	p := benchServingProfile()
+	srv, err := New(DefaultOptions(p, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := srv.(*System)
+	gen := NewWorkload(p, 2)
+	samples := make([]Sample, 1024)
+	for i := range samples {
+		samples[i] = gen.Next()
+	}
+	// Warm the node: populate LoRA rows via training ticks and fill the
+	// scratch pool, so the measured region is the steady serving state.
+	for i := 0; i < 256; i++ {
+		if _, err := sys.Serve(samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Node.Predict(samples[i%len(samples)])
+	}
+}
+
 // benchFleet builds the 4-replica hash-routed fleet both cluster-serving
 // benchmarks share. Hash routing keeps the request→replica assignment
 // deterministic, so the sequential and parallel benches do identical
@@ -137,6 +168,28 @@ func BenchmarkClusterServeParallel(b *testing.B) {
 		b.Fatalf("served %d of %d", rep.Served, b.N)
 	}
 	b.ReportMetric(rep.QPS, "req/s")
+}
+
+// BenchmarkClusterServeBatched drives the same fleet as the Sequential and
+// Parallel benches with 8 workers AND lane coalescing (batch 16): queued
+// same-shard requests are served through one ServeShardBatch call — one
+// scratch, one fleet read lock, one node lock for the whole run. Virtual-time
+// stats are identical to both siblings (TestDriveBatchedMatchesUnbatched);
+// the req/call metric shows how full the opportunistic batches ran.
+func BenchmarkClusterServeBatched(b *testing.B) {
+	srv, gen := benchFleet(b)
+	b.ResetTimer()
+	rep, err := Drive(srv, gen, DriveConfig{Requests: b.N, Concurrency: 8, BatchSize: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Served != uint64(b.N) {
+		b.Fatalf("served %d of %d", rep.Served, b.N)
+	}
+	b.ReportMetric(rep.QPS, "req/s")
+	if rep.Batches > 0 {
+		b.ReportMetric(float64(rep.Served)/float64(rep.Batches), "req/call")
+	}
 }
 
 // benchSyncFleet builds a 4-replica hash-routed fleet with an aggressive

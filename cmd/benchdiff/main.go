@@ -1,18 +1,22 @@
 // Command benchdiff compares two `go test -json -bench` event streams (the
 // BENCH_ci.json artifacts the CI bench job uploads) and renders a markdown
-// summary of per-benchmark ns/op movement — a dependency-free benchstat
+// summary of per-benchmark movement — ns/op plus, when the runs carried
+// -benchmem, the B/op and allocs/op columns — a dependency-free benchstat
 // substitute for the job summary.
 //
 // Usage:
 //
-//	benchdiff -old prev/BENCH_ci.json -new BENCH_ci.json [-threshold 25]
+//	benchdiff -old prev/BENCH_ci.json -new BENCH_ci.json [-threshold 25] [-alloc-threshold 0]
 //
 // Exit status: 0 on success (including "no previous artifact", which renders
 // a note instead of a table — the first run of a new repo has no baseline),
-// 1 when the new results are missing or unreadable. Regressions beyond
-// -threshold percent are flagged in the table but never fail the job: CI
-// runners are too noisy for single-iteration gates, the table exists to make
-// the trajectory visible.
+// 1 when the new results are missing or unreadable. Wall-time regressions
+// beyond -threshold percent are flagged in the table but never fail the job:
+// CI runners are too noisy for single-iteration ns/op gates. Allocation
+// columns are different — B/op and allocs/op are deterministic for a fixed
+// code path — so growth beyond -alloc-threshold percent (default 0: any
+// increase) is flagged as a real regression; the hard zero-allocation gate on
+// the serving fast path lives in its own CI step.
 package main
 
 import (
@@ -120,8 +124,52 @@ func parseStream(path string) (map[string]benchResult, error) {
 	return out, nil
 }
 
-// renderDiff writes the markdown comparison of old vs new results.
-func renderDiff(w *bufio.Writer, oldRes, newRes map[string]benchResult, threshold float64) {
+// metric returns a benchmark's value for a unit ("B/op", "allocs/op") and
+// whether it was reported (benches run without -benchmem carry neither).
+func (r benchResult) metric(unit string) (float64, bool) {
+	v, ok := r.Extra[unit]
+	return v, ok
+}
+
+// fmtMetric renders a metric cell, or an em dash when it was not reported.
+func fmtMetric(r benchResult, unit string) string {
+	if v, ok := r.metric(unit); ok {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return "—"
+}
+
+// deltaCell renders the relative change of a metric present in both runs,
+// flagging it when it exceeds threshold percent. It returns the cell text and
+// whether it was flagged. Metrics absent on either side render as "—" and
+// never flag.
+func deltaCell(o, n benchResult, unit string, threshold float64) (string, bool) {
+	ov, ook := o.metric(unit)
+	nv, nok := n.metric(unit)
+	if !ook || !nok {
+		return "—", false
+	}
+	delta := 0.0
+	switch {
+	case ov > 0:
+		delta = (nv - ov) / ov * 100
+	case nv > 0:
+		// From exactly zero to nonzero: an infinite relative regression —
+		// exactly the case the zero-allocation gate exists for.
+		return "+∞ ⚠️", true
+	}
+	if delta > threshold {
+		return fmt.Sprintf("%+.1f%% ⚠️", delta), true
+	}
+	return fmt.Sprintf("%+.1f%%", delta), false
+}
+
+// renderDiff writes the markdown comparison of old vs new results: ns/op
+// movement plus the allocation columns (B/op, allocs/op) when -benchmem data
+// is present. nsThreshold flags wall-time regressions (noisy on shared
+// runners); allocThreshold flags allocation growth (deterministic — the
+// default 0 flags any increase).
+func renderDiff(w *bufio.Writer, oldRes, newRes map[string]benchResult, nsThreshold, allocThreshold float64) {
 	names := make([]string, 0, len(newRes))
 	for name := range newRes {
 		names = append(names, name)
@@ -129,26 +177,35 @@ func renderDiff(w *bufio.Writer, oldRes, newRes map[string]benchResult, threshol
 	sort.Strings(names)
 
 	fmt.Fprintf(w, "### Benchmark diff vs previous run\n\n")
-	fmt.Fprintf(w, "| benchmark | old ns/op | new ns/op | Δ |\n")
-	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
-	regressions := 0
+	fmt.Fprintf(w, "| benchmark | old ns/op | new ns/op | Δns/op | old B/op | new B/op | ΔB/op | old allocs/op | new allocs/op | Δallocs/op |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	nsRegressions, allocRegressions := 0, 0
 	for _, name := range names {
 		n := newRes[name]
 		o, ok := oldRes[name]
 		if !ok {
-			fmt.Fprintf(w, "| %s | — | %.0f | new |\n", name, n.NsPerOp)
+			fmt.Fprintf(w, "| %s | — | %.0f | new | — | %s | — | — | %s | — |\n",
+				name, n.NsPerOp, fmtMetric(n, "B/op"), fmtMetric(n, "allocs/op"))
 			continue
 		}
-		delta := 0.0
+		nsDelta := 0.0
 		if o.NsPerOp > 0 {
-			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			nsDelta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		}
-		flag := ""
-		if delta > threshold {
-			flag = " ⚠️"
-			regressions++
+		nsCell := fmt.Sprintf("%+.1f%%", nsDelta)
+		if nsDelta > nsThreshold {
+			nsCell += " ⚠️"
+			nsRegressions++
 		}
-		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", name, o.NsPerOp, n.NsPerOp, delta, flag)
+		bCell, bFlag := deltaCell(o, n, "B/op", allocThreshold)
+		aCell, aFlag := deltaCell(o, n, "allocs/op", allocThreshold)
+		if bFlag || aFlag {
+			allocRegressions++
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %s | %s | %s | %s | %s | %s | %s |\n",
+			name, o.NsPerOp, n.NsPerOp, nsCell,
+			fmtMetric(o, "B/op"), fmtMetric(n, "B/op"), bCell,
+			fmtMetric(o, "allocs/op"), fmtMetric(n, "allocs/op"), aCell)
 	}
 	// Benchmarks present only in the old file render as "removed" rows, in
 	// sorted order so the table is stable run to run (map iteration is not).
@@ -160,13 +217,19 @@ func renderDiff(w *bufio.Writer, oldRes, newRes map[string]benchResult, threshol
 	}
 	sort.Strings(removed)
 	for _, name := range removed {
-		fmt.Fprintf(w, "| %s | %.0f | — | removed |\n", name, oldRes[name].NsPerOp)
+		fmt.Fprintf(w, "| %s | %.0f | — | removed | %s | — | — | %s | — | — |\n",
+			name, oldRes[name].NsPerOp, fmtMetric(oldRes[name], "B/op"), fmtMetric(oldRes[name], "allocs/op"))
 	}
 	fmt.Fprintf(w, "\n")
-	if regressions > 0 {
-		fmt.Fprintf(w, "⚠️ %d benchmark(s) regressed more than %.0f%% ns/op — single-iteration CI numbers are noisy; treat as a pointer, not a verdict.\n", regressions, threshold)
+	if nsRegressions > 0 {
+		fmt.Fprintf(w, "⚠️ %d benchmark(s) regressed more than %.0f%% ns/op — single-iteration CI numbers are noisy; treat as a pointer, not a verdict.\n", nsRegressions, nsThreshold)
 	} else {
-		fmt.Fprintf(w, "No ns/op regression beyond %.0f%%.\n", threshold)
+		fmt.Fprintf(w, "No ns/op regression beyond %.0f%%.\n", nsThreshold)
+	}
+	if allocRegressions > 0 {
+		fmt.Fprintf(w, "⚠️ %d benchmark(s) grew B/op or allocs/op beyond %.0f%% — allocation counts are deterministic, so treat these as real regressions.\n", allocRegressions, allocThreshold)
+	} else {
+		fmt.Fprintf(w, "No B/op or allocs/op growth beyond %.0f%%.\n", allocThreshold)
 	}
 }
 
@@ -174,6 +237,8 @@ func main() {
 	oldPath := flag.String("old", "", "previous run's bench JSON (missing file → note, exit 0)")
 	newPath := flag.String("new", "", "current run's bench JSON (required)")
 	threshold := flag.Float64("threshold", 25, "flag ns/op regressions beyond this percentage")
+	allocThreshold := flag.Float64("alloc-threshold", 0,
+		"flag B/op and allocs/op growth beyond this percentage (allocation counts are deterministic; 0 flags any increase)")
 	flag.Parse()
 
 	w := bufio.NewWriter(os.Stdout)
@@ -200,5 +265,5 @@ func main() {
 		fmt.Fprintf(w, "### Benchmark diff\n\nNo previous bench artifact to diff against (first run, expired artifact, or download failure); recorded %d benchmarks as the new baseline.\n", len(newRes))
 		return
 	}
-	renderDiff(w, oldRes, newRes, *threshold)
+	renderDiff(w, oldRes, newRes, *threshold, *allocThreshold)
 }

@@ -84,14 +84,14 @@ func TestRenderDiffFlagsRegression(t *testing.T) {
 	}
 	var sb strings.Builder
 	w := bufio.NewWriter(&sb)
-	renderDiff(w, oldRes, newRes, 25)
+	renderDiff(w, oldRes, newRes, 25, 0)
 	w.Flush()
 	out := sb.String()
 	for _, want := range []string{
-		"| BenchmarkServeRequest-8 | 100000 | 150000 | +50.0% ⚠️ |",
-		"| BenchmarkFresh-8 | — | 7 | new |",
-		"| BenchmarkGone-8 | 5 | — | removed |",
-		"| BenchmarkAlsoGone-8 | 9 | — | removed |",
+		"| BenchmarkServeRequest-8 | 100000 | 150000 | +50.0% ⚠️ | — | — | — | — | — | — |",
+		"| BenchmarkFresh-8 | — | 7 | new | — | — | — | — | — | — |",
+		"| BenchmarkGone-8 | 5 | — | removed | — | — | — | — | — | — |",
+		"| BenchmarkAlsoGone-8 | 9 | — | removed | — | — | — | — | — | — |",
 		"1 benchmark(s) regressed",
 	} {
 		if !strings.Contains(out, want) {
@@ -102,5 +102,78 @@ func TestRenderDiffFlagsRegression(t *testing.T) {
 	// flake here would churn every CI job summary.
 	if strings.Index(out, "BenchmarkAlsoGone-8") > strings.Index(out, "BenchmarkGone-8") {
 		t.Fatalf("removed rows unsorted:\n%s", out)
+	}
+}
+
+// Allocation-column streams: old has -benchmem data, new moves B/op and
+// allocs/op in both directions.
+const streamAllocOld = `{"Action":"output","Package":"liveupdate","Output":"BenchmarkHot-8 \t 1000\t 100 ns/op\t 2048 B/op\t 10 allocs/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkCold-8 \t 1000\t 100 ns/op\t 512 B/op\t 4 allocs/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkZero-8 \t 1000\t 50 ns/op\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkNoMem-8 \t 1000\t 70 ns/op\n"}
+`
+
+const streamAllocNew = `{"Action":"output","Package":"liveupdate","Output":"BenchmarkHot-8 \t 1000\t 90 ns/op\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkCold-8 \t 1000\t 110 ns/op\t 1024 B/op\t 6 allocs/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkZero-8 \t 1000\t 50 ns/op\t 16 B/op\t 1 allocs/op\n"}
+{"Action":"output","Package":"liveupdate","Output":"BenchmarkNoMem-8 \t 1000\t 70 ns/op\n"}
+`
+
+// TestParseBenchLineAllocColumns: -benchmem columns land in Extra under their
+// unit names, where the diff renderer finds them.
+func TestParseBenchLineAllocColumns(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkHot-8 \t 1000\t 100 ns/op\t 2048 B/op\t 10 allocs/op")
+	if !ok {
+		t.Fatal("benchmem line must parse")
+	}
+	if r.Extra["B/op"] != 2048 || r.Extra["allocs/op"] != 10 {
+		t.Fatalf("alloc metrics lost: %+v", r.Extra)
+	}
+}
+
+// TestRenderDiffAllocColumns: improvements render unflagged, any allocation
+// growth is flagged (default 0% threshold), zero→nonzero flags as +∞, and
+// benches without -benchmem data render em dashes without flagging.
+func TestRenderDiffAllocColumns(t *testing.T) {
+	oldRes, err := parseStream(writeTemp(t, "old.json", streamAllocOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := parseStream(writeTemp(t, "new.json", streamAllocNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	renderDiff(w, oldRes, newRes, 25, 0)
+	w.Flush()
+	out := sb.String()
+	for _, want := range []string{
+		// Improvement: negative deltas, no flags.
+		"| BenchmarkHot-8 | 100 | 90 | -10.0% | 2048 | 0 | -100.0% | 10 | 0 | -100.0% |",
+		// Growth: flagged in both allocation columns.
+		"| BenchmarkCold-8 | 100 | 110 | +10.0% | 512 | 1024 | +100.0% ⚠️ | 4 | 6 | +50.0% ⚠️ |",
+		// Zero → nonzero: infinite relative growth.
+		"| BenchmarkZero-8 | 50 | 50 | +0.0% | 0 | 16 | +∞ ⚠️ | 0 | 1 | +∞ ⚠️ |",
+		// No -benchmem data: dashes, no flags.
+		"| BenchmarkNoMem-8 | 70 | 70 | +0.0% | — | — | — | — | — | — |",
+		"2 benchmark(s) grew B/op or allocs/op",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// A generous alloc threshold unflags the 50-100% growth but keeps the
+	// zero→nonzero case flagged.
+	sb.Reset()
+	w = bufio.NewWriter(&sb)
+	renderDiff(w, oldRes, newRes, 25, 150)
+	w.Flush()
+	out = sb.String()
+	if !strings.Contains(out, "| BenchmarkCold-8 | 100 | 110 | +10.0% | 512 | 1024 | +100.0% | 4 | 6 | +50.0% |") {
+		t.Fatalf("alloc threshold not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "1 benchmark(s) grew B/op or allocs/op") {
+		t.Fatalf("zero→nonzero must stay flagged at any threshold:\n%s", out)
 	}
 }

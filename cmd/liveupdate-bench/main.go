@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -37,6 +39,10 @@ func main() {
 		fmt.Sprintf("restrict fleet-serving experiments (syncpipe, elastic) to one sync propagation mode %v; empty runs their defaults", liveupdate.SyncModes()))
 	chaosScript := flag.String("chaos", "",
 		"override the elastic experiment's built-in membership schedule, e.g. \"@2s kill 1; @4s replace 1; @6s scale 6\"")
+	batch := flag.Int("batch", 0,
+		"lane-coalescing batch size for the fleet-serving experiments (syncpipe, elastic); 0 = unbatched")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
 	flag.Parse()
 
 	if *concurrency < 1 {
@@ -62,6 +68,49 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *batch < 0 {
+		fmt.Fprintf(os.Stderr, "liveupdate-bench: -batch must be non-negative, got %d\n", *batch)
+		os.Exit(1)
+	}
+	// Profiling brackets the experiment runs themselves; stopProfiles is
+	// called explicitly (not deferred) right after the experiments finish, so
+	// the fatal os.Exit paths of result emission cannot truncate a profile.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "liveupdate-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "liveupdate-bench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	stopProfiles := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "liveupdate-bench: closing CPU profile: %v\n", err)
+			}
+			cpuFile = nil
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "liveupdate-bench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle: profile retained memory, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "liveupdate-bench: writing heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "liveupdate-bench: closing heap profile: %v\n", err)
+			}
+		}
+	}
 
 	// All result emission goes through one checked writer: a write error
 	// (closed pipe, full disk) must surface as a non-zero exit, not be
@@ -81,6 +130,7 @@ func main() {
 	}
 
 	if *list {
+		stopProfiles() // nothing to profile; close cleanly
 		for _, id := range liveupdate.ExperimentIDs() {
 			emit("%s\n", id)
 		}
@@ -115,11 +165,13 @@ func main() {
 				Quick:       *quick,
 				SyncMode:    liveupdate.SyncMode(*syncMode),
 				ChaosScript: *chaosScript,
+				BatchSize:   *batch,
 			})
 			results[i] = result{out: out, seconds: time.Since(start).Seconds(), err: err}
 		}(i, id)
 	}
 	wg.Wait()
+	stopProfiles()
 
 	failed := 0
 	for i, id := range ids {

@@ -41,6 +41,8 @@ func main() {
 	noIsolation := flag.Bool("no-isolation", false, "disable NUMA scheduling and reuse (naive co-location)")
 	concurrency := flag.Int("concurrency", 1,
 		"client goroutines driving the fleet (1 = plain sequential loop; virtual-time stats are identical either way)")
+	batch := flag.Int("batch", 1,
+		"serving batch size: driver lanes coalesce up to this many queued same-shard requests into one zero-allocation batched serve call (virtual-time stats are identical to -batch 1)")
 	chaosScript := flag.String("chaos", "",
 		"membership-event schedule applied at virtual timestamps while serving, e.g. \"@2s kill 1; @4s replace 1; @6s scale 6\" (actions: kill/replace/leave <slot>, join, scale <n>; needs -replicas > 1)")
 	flag.Parse()
@@ -61,6 +63,9 @@ func main() {
 	}
 	if *concurrency < 1 {
 		fatalf("-concurrency must be >= 1, got %d", *concurrency)
+	}
+	if *batch < 1 {
+		fatalf("-batch must be >= 1, got %d", *batch)
 	}
 
 	var chaos liveupdate.ChaosSchedule
@@ -97,8 +102,8 @@ func main() {
 	}
 	gen := liveupdate.NewWorkload(profile, *seed^0x5e)
 
-	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s sync-mode=%s training=%v isolation=%v concurrency=%d\n",
-		liveupdate.Version, profile.Name, *replicas, *router, *syncMode, !*noTrain, !*noIsolation, *concurrency)
+	fmt.Printf("liveupdate-serve %s: profile=%s replicas=%d router=%s sync-mode=%s training=%v isolation=%v concurrency=%d batch=%d\n",
+		liveupdate.Version, profile.Name, *replicas, *router, *syncMode, !*noTrain, !*noIsolation, *concurrency, *batch)
 	if len(chaos) > 0 {
 		fmt.Printf("chaos schedule: %s\n", chaos)
 	}
@@ -109,7 +114,7 @@ func main() {
 			st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps,
 			st.MemoryOverhead, st.Syncs, st.SyncBytes, st.VirtualTime)
 	}
-	if *concurrency == 1 && len(chaos) == 0 {
+	if *concurrency == 1 && len(chaos) == 0 && *batch <= 1 {
 		for i := 1; i <= *requests; i++ {
 			if _, err := srv.Serve(gen.Next()); err != nil {
 				fatalf("serve: %v", err)
@@ -123,6 +128,7 @@ func main() {
 		rep, err := liveupdate.Drive(srv, gen, liveupdate.DriveConfig{
 			Requests:      *requests,
 			Concurrency:   *concurrency,
+			BatchSize:     *batch,
 			Seed:          *seed,
 			ProgressEvery: *report,
 			OnProgress: func(served uint64) {
@@ -138,6 +144,10 @@ func main() {
 		}
 		fmt.Printf("\ndrive: %d workers over %d shard(s): %d req in %v wall (%.0f req/s wall, %.0f req/s virtual)\n",
 			rep.Workers, rep.Shards, rep.Served, rep.Elapsed.Round(time.Millisecond), rep.QPS, rep.VirtualQPS)
+		if rep.BatchSize > 1 && rep.Batches > 0 {
+			fmt.Printf("batching: cap %d, %d serve calls, %.2f req/call mean\n",
+				rep.BatchSize, rep.Batches, float64(rep.Served)/float64(rep.Batches))
+		}
 		for _, ws := range rep.PerWorker {
 			fmt.Printf("  worker %-3d shards=%-8v served=%-8d busy=%-12v meanLat=%.3fms\n",
 				ws.Worker, ws.Shards, ws.Served, ws.Busy.Round(time.Millisecond), ws.MeanLatency*1000)

@@ -316,6 +316,11 @@ func (c *Cluster) RouterName() string { return c.router.Name() }
 // Mode returns the periodic-sync propagation mode.
 func (c *Cluster) Mode() SyncMode { return c.mode }
 
+// DefaultBatchSize returns the serving-batch hint attached at construction
+// (Config.Base.BatchSize; 0 = unbatched). The load driver uses it when its
+// own configuration does not set a batch size.
+func (c *Cluster) DefaultBatchSize() int { return c.cfg.Base.BatchSize }
+
 // ChaosSchedule returns the membership-event schedule attached at
 // construction (nil when none was).
 func (c *Cluster) ChaosSchedule() fleet.Schedule { return c.cfg.Chaos }
@@ -417,6 +422,67 @@ func (c *Cluster) ServeShard(shard int, s trace.Sample) (core.Response, error) {
 		}
 	}
 	return resp, nil
+}
+
+// ServeShardBatch serves a run of pre-routed same-shard samples on one
+// replica slot through core.System.ServeBatch — the amortized fast path the
+// load driver's lane workers coalesce into. Semantics match a loop over
+// ServeShard for every virtual-time statistic: each sample still gets its own
+// bookkeeping tail and training trigger on the replica; only buffer
+// acquisition, the fleet read lock, and the periodic-sync epoch check (which
+// runs once, after the batch) are amortized. A sync epoch crossed mid-batch
+// is therefore picked up at the batch boundary — the same epochs fire either
+// way, so final sync counts are unchanged. resps must have the same length as
+// samples and is filled in order.
+func (c *Cluster) ServeShardBatch(shard int, samples []trace.Sample, resps []core.Response) error {
+	if len(resps) != len(samples) {
+		return fmt.Errorf("cluster: ServeShardBatch got %d response slots for %d samples", len(resps), len(samples))
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	if c.pipe != nil {
+		if err := c.pipe.Err(); err != nil {
+			return err
+		}
+	}
+	c.fleetMu.RLock()
+	v := c.fleet.View()
+	if shard < 0 || shard >= v.NumSlots() {
+		c.fleetMu.RUnlock()
+		return fmt.Errorf("cluster: router %s picked replica %d of %d",
+			c.router.Name(), shard, v.NumSlots())
+	}
+	m := v.Member(shard)
+	if m == nil {
+		if m = v.Redirect(shard); m == nil {
+			c.fleetMu.RUnlock()
+			return fmt.Errorf("cluster: no active replicas")
+		}
+	}
+	if err := m.Sys.ServeBatch(samples, resps); err != nil {
+		c.fleetMu.RUnlock()
+		return err
+	}
+	for i := range resps {
+		resps[i].Replica = m.Slot
+	}
+	needBarrierSync := false
+	if d := c.cfg.SyncEvery.Seconds(); d > 0 {
+		if e := c.epochOf(d); e > c.syncedEpoch.Load() {
+			if c.mode == SyncBarrier {
+				needBarrierSync = true
+			} else {
+				c.pipe.kick(e)
+			}
+		}
+	}
+	c.gen.Add(m.Slot%c.gen.Shards(), 1)
+	c.fleetMu.RUnlock()
+	if needBarrierSync {
+		return c.syncPendingEpochs()
+	}
+	return nil
 }
 
 // epochOf returns the SyncEvery epoch the fleet clock is currently in.

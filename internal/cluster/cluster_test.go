@@ -765,3 +765,123 @@ func TestConcurrentServeAndMembershipExactCounts(t *testing.T) {
 		t.Fatal("fleet inconsistent after churn + final merge: a joiner missed a publish")
 	}
 }
+
+// TestServeShardBatchMatchesSequential: the batched shard path must produce
+// the same virtual-time statistics as serving the identical pre-routed
+// stream one request at a time — the acceptance criterion "batched beats
+// sequential at equal virtual-time stats" is meaningless without the "equal"
+// half. Runs in both sync modes with an aggressive sync cadence so periodic
+// epochs fire mid-stream.
+func TestServeShardBatchMatchesSequential(t *testing.T) {
+	const requests = 2000
+	for _, mode := range []SyncMode{SyncBarrier, SyncAsync} {
+		for _, batch := range []int{1, 4, 32} {
+			build := func() *Cluster {
+				cfg := testConfig(t, 3)
+				cfg.SyncEvery = 2 * time.Second // virtual; several epochs per run
+				cfg.Mode = mode
+				r, err := NewRouter(Hash)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Router = r
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			seq, bat := build(), build()
+			genA := trace.MustNewGenerator(testProfile(t), 13)
+			genB := trace.MustNewGenerator(testProfile(t), 13)
+
+			for i := 0; i < requests; i++ {
+				s := genA.Next()
+				if _, err := seq.ServeShard(seq.ShardOf(s), s); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Batched: coalesce consecutive same-shard requests, as the
+			// driver's lane workers do.
+			var pendShard = -1
+			var pend []trace.Sample
+			resps := make([]core.Response, batch)
+			flush := func() {
+				if len(pend) == 0 {
+					return
+				}
+				if err := bat.ServeShardBatch(pendShard, pend, resps[:len(pend)]); err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range resps[:len(pend)] {
+					if r.Replica != pendShard {
+						t.Fatalf("response replica %d, want %d", r.Replica, pendShard)
+					}
+				}
+				pend = pend[:0]
+			}
+			for i := 0; i < requests; i++ {
+				s := genB.Next()
+				shard := bat.ShardOf(s)
+				if shard != pendShard || len(pend) == batch {
+					flush()
+					pendShard = shard
+				}
+				pend = append(pend, s)
+			}
+			flush()
+
+			ss, bs := seq.Stats(), bat.Stats()
+			if ss.Served != bs.Served || ss.Violations != bs.Violations ||
+				ss.TrainSteps != bs.TrainSteps || ss.VirtualTime != bs.VirtualTime ||
+				ss.P99 != bs.P99 || ss.Syncs != bs.Syncs {
+				t.Fatalf("mode=%s batch=%d: stats diverged:\n seq served=%d viol=%d train=%d vt=%v p99=%v syncs=%d\n bat served=%d viol=%d train=%d vt=%v p99=%v syncs=%d",
+					mode, batch,
+					ss.Served, ss.Violations, ss.TrainSteps, ss.VirtualTime, ss.P99, ss.Syncs,
+					bs.Served, bs.Violations, bs.TrainSteps, bs.VirtualTime, bs.P99, bs.Syncs)
+			}
+			for i := range ss.Replicas {
+				if ss.Replicas[i].Served != bs.Replicas[i].Served ||
+					ss.Replicas[i].VirtualTime != bs.Replicas[i].VirtualTime {
+					t.Fatalf("mode=%s batch=%d replica %d diverged", mode, batch, i)
+				}
+			}
+		}
+	}
+}
+
+// TestServeShardBatchRedirectAndErrors: a batch aimed at an emptied slot
+// redirects like ServeShard; bad shard indices and mismatched buffers error
+// without serving anything.
+func TestServeShardBatchRedirectAndErrors(t *testing.T) {
+	cfg := testConfig(t, 3)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.MustNewGenerator(testProfile(t), 4)
+	batch := []trace.Sample{gen.Next(), gen.Next()}
+	resps := make([]core.Response, 2)
+
+	if err := c.ServeShardBatch(1, batch, resps[:1]); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if err := c.ServeShardBatch(99, batch, resps); err == nil {
+		t.Fatal("out-of-range shard must error")
+	}
+	if err := c.FailReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ServeShardBatch(1, batch, resps); err != nil {
+		t.Fatalf("batch to failed slot must redirect: %v", err)
+	}
+	for _, r := range resps {
+		if r.Replica == 1 {
+			t.Fatal("redirected batch reported the failed slot")
+		}
+	}
+	if got := c.Stats().Served; got != 2 {
+		t.Fatalf("served %d, want 2", got)
+	}
+}

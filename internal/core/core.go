@@ -40,6 +40,12 @@ type Options struct {
 	TrainInterval int     // serve this many requests between training ticks
 	EmbLR         float64 // LoRA learning rate
 	InitialInfCCD int     // starting inference partition (scheduling on)
+
+	// BatchSize is the preferred serving batch size — the number of queued
+	// same-shard requests a load driver should coalesce into one ServeBatch /
+	// ServeShardBatch call. 0 or 1 means unbatched. It is a driving hint
+	// (picked up via DefaultBatchSize), not a serving-path requirement.
+	BatchSize int
 }
 
 // DefaultOptions returns the full system configuration for a profile.
@@ -67,6 +73,9 @@ func (o Options) Validate() error {
 	if err := o.Profile.Validate(); err != nil {
 		return err
 	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("core: BatchSize must be non-negative")
+	}
 	if o.EnableTraining {
 		if o.TrainBatch <= 0 {
 			return fmt.Errorf("core: TrainBatch must be positive")
@@ -84,16 +93,26 @@ func (o Options) Validate() error {
 // System is one LiveUpdate inference node: it serves requests and refreshes
 // its own embeddings from cached interactions, with performance isolation.
 //
-// A System is safe for concurrent use: Serve, Stats, TrainTick, and FullSync
-// serialize on an internal per-node mutex, so a fleet can serve independent
-// replicas from independent goroutines while any one replica processes one
-// request at a time (the single-server model the virtual clock assumes).
-// The mutex is pure request serialization, not an update barrier: Serve's
-// embedding lookups read the LoRA adapters through their copy-on-write
-// atomic state (see internal/lora), so a fleet-level merge publishing fresh
-// adapter values (PublishLoRA) never holds this lock across the merge — only
-// across the O(rows) snapshot/install — and a request never observes a
-// half-published mix of old and new factors.
+// A System is safe for concurrent use, with the serve hot path split across
+// two locks:
+//
+//   - The DLRM forward (serving.Node.Predict) runs OUTSIDE the node mutex: it
+//     is read-only — adapter state is read through its copy-on-write atomic
+//     publishes (see internal/lora), embedding access counters are atomic —
+//     and allocation-free (a pooled forward scratch per in-flight request).
+//     It holds only a read lock on paramMu, the rarely-written parameter
+//     lock, so forwards never block behind another request's bookkeeping, a
+//     Stats snapshot, or an in-flight fleet merge.
+//   - The mutation tail (memory-model charges, ring push, latency/SLA
+//     tracking, clock advance, the train-tick trigger) serializes on the node
+//     mutex, preserving the single-server virtual-clock model: per-node tail
+//     order alone determines every virtual-time statistic, so the lock split
+//     leaves them bit-identical to the historical fully-locked path.
+//   - paramMu is held for write only by in-place parameter mutations — the
+//     co-located training tick and FullSync's base/dense overwrite. Fleet
+//     publishes (PublishLoRA) stay copy-on-write and never block forwards.
+//
+// Lock order: mu before paramMu; the forward takes only paramMu (read).
 // The exported fields are wiring for experiments and tests; touching them
 // while another goroutine is inside Serve is not synchronized.
 type System struct {
@@ -109,10 +128,17 @@ type System struct {
 
 	mu         sync.Mutex // guards all mutable state below and inside Node/Machine/LoRA
 	trainRNG   *tensor.RNG
+	trainBuf   []trace.Sample // reusable mini-batch buffer for trainTick
 	sinceTrain int
 	trainSteps uint64
 	fullSyncs  uint64
 	scratchSeq int32 // unique block ids for the naive trainer's scratch state
+
+	// paramMu excludes lock-free forwards (read) from in-place parameter
+	// writes (write): the LoRA training step mutates the current adapter
+	// state directly and FullSync overwrites base tables and dense weights.
+	// It is uncontended on the hot path — a read lock costs one atomic op.
+	paramMu sync.RWMutex
 }
 
 // New assembles a system from opts.
@@ -240,25 +266,79 @@ type Stats struct {
 // co-located training ticks per the configured cadence. It returns the
 // prediction and request latency; the only error is a sample whose sparse
 // feature count does not match the profile.
+//
+// The forward runs before and outside the node mutex (see the System comment
+// for the lock split); only the bookkeeping tail and the training trigger
+// serialize. Because the forward reads no bookkeeping and the tail order per
+// node is unchanged, every virtual-time statistic is bit-identical to the
+// historical fully-locked implementation.
 func (s *System) Serve(sample trace.Sample) (Response, error) {
 	if len(sample.Sparse) != s.Opts.Profile.NumTables {
 		return Response{}, fmt.Errorf("core: sample has %d sparse fields, profile %q expects %d",
 			len(sample.Sparse), s.Opts.Profile.Name, s.Opts.Profile.NumTables)
 	}
+	s.paramMu.RLock()
+	prob := s.Node.Predict(sample)
+	s.paramMu.RUnlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	prob, latency := s.Node.Serve(sample)
-	if s.Opts.EnableTraining {
-		s.sinceTrain++
-		if s.sinceTrain >= s.Opts.TrainInterval {
-			s.sinceTrain = 0
-			s.trainTick()
-			if s.Controller != nil {
-				s.Controller.Observe(s.Node.P99())
-			}
+	latency := s.Node.Commit(sample)
+	s.afterCommitLocked()
+	s.mu.Unlock()
+	return Response{Prob: prob, Latency: latency}, nil
+}
+
+// ServeBatch serves samples in order on this node — the batch-amortized fast
+// path: all forwards run first through ONE shared scratch (lock-free, zero
+// allocations), then one mutex acquisition covers every request's bookkeeping
+// tail, each with its own memory charges, ring push, clock advance, and
+// training trigger at exactly the per-request cadence. Virtual-time
+// statistics are therefore identical to a loop over Serve; only the adapter
+// values a forward observes may be marginally staler (a request scored before
+// an earlier request's training tick — the bounded-staleness window the
+// paper's design embraces). resps must have the same length as samples; it is
+// filled in order.
+func (s *System) ServeBatch(samples []trace.Sample, resps []Response) error {
+	if len(resps) != len(samples) {
+		return fmt.Errorf("core: ServeBatch got %d response slots for %d samples", len(resps), len(samples))
+	}
+	for i := range samples {
+		if len(samples[i].Sparse) != s.Opts.Profile.NumTables {
+			return fmt.Errorf("core: sample %d has %d sparse fields, profile %q expects %d",
+				i, len(samples[i].Sparse), s.Opts.Profile.Name, s.Opts.Profile.NumTables)
 		}
 	}
-	return Response{Prob: prob, Latency: latency}, nil
+	if len(samples) == 0 {
+		return nil
+	}
+	s.paramMu.RLock()
+	sc := s.Model.AcquireScratch()
+	for i := range samples {
+		resps[i] = Response{Prob: s.Node.PredictWith(samples[i], sc)}
+	}
+	s.Model.ReleaseScratch(sc)
+	s.paramMu.RUnlock()
+	s.mu.Lock()
+	for i := range samples {
+		resps[i].Latency = s.Node.Commit(samples[i])
+		s.afterCommitLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// afterCommitLocked runs the post-request training trigger; callers hold s.mu.
+func (s *System) afterCommitLocked() {
+	if !s.Opts.EnableTraining {
+		return
+	}
+	s.sinceTrain++
+	if s.sinceTrain >= s.Opts.TrainInterval {
+		s.sinceTrain = 0
+		s.trainTick()
+		if s.Controller != nil {
+			s.Controller.Observe(s.Node.P99())
+		}
+	}
 }
 
 // Stats snapshots the node's serving, training, and memory statistics.
@@ -306,6 +386,11 @@ func (s *System) LatencyWindow() []float64 {
 	defer s.mu.Unlock()
 	return s.Node.LatencySamples()
 }
+
+// DefaultBatchSize returns the serving-batch hint configured at construction
+// (0 = unbatched). The load driver uses it when its own configuration does
+// not set a batch size.
+func (s *System) DefaultBatchSize() int { return s.Opts.BatchSize }
 
 // LoRARank returns the node's current adapter rank (table 0).
 func (s *System) LoRARank() int {
@@ -361,13 +446,24 @@ func (s *System) TrainTick() {
 	s.trainTick()
 }
 
-// trainTick is TrainTick's body; callers must hold s.mu.
+// trainTick is TrainTick's body; callers must hold s.mu. It takes the
+// parameter write lock for its whole span: the LoRA SGD step mutates adapter
+// state in place, which must not interleave with a lock-free forward. The
+// mini-batch buffer and the forward cache are reused across ticks and
+// samples, keeping the tick's steady-state allocation footprint low (the
+// train-tick share of BenchmarkServeRequest's B/op).
 func (s *System) trainTick() {
-	batch := s.Node.Ring.Sample(s.trainRNG, s.Opts.TrainBatch)
+	if s.trainBuf == nil {
+		s.trainBuf = make([]trace.Sample, s.Opts.TrainBatch)
+	}
+	batch := s.Node.Ring.SampleInto(s.trainRNG, s.trainBuf)
 	if batch == nil {
 		return
 	}
+	s.paramMu.Lock()
+	defer s.paramMu.Unlock()
 	numTables := int32(s.Opts.Profile.NumTables)
+	var cache dlrm.ForwardCache
 	for _, sample := range batch {
 		// Charge the trainer's embedding traffic to the memory model. With
 		// reuse, reads go through the prefetched shadow table. Without it,
@@ -391,8 +487,8 @@ func (s *System) trainTick() {
 			}
 		}
 		s.Clock.Advance(memTime)
-		// LoRA-only learning: base and dense weights frozen.
-		var cache dlrm.ForwardCache
+		// LoRA-only learning: base and dense weights frozen. The cache is
+		// reused across samples: Forward overwrites every field it reads.
 		logit := s.Model.Forward(s.LoRA, sample.Dense, sample.Sparse, &cache)
 		dLogit := dlrm.Sigmoid(logit) - float64(sample.Label)
 		dEmb := s.Model.Backward(dLogit, &cache)
@@ -417,6 +513,12 @@ func (s *System) TrainSteps() uint64 {
 func (s *System) FullSync(freshBase *emt.Group, freshModel *dlrm.Model) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Overwriting base tables and dense weights in place must exclude
+	// lock-free forwards; adapter reset is copy-on-write but joins the same
+	// critical section so a forward never mixes fresh weights with stale
+	// adapters.
+	s.paramMu.Lock()
+	defer s.paramMu.Unlock()
 	s.Base.CopyWeightsFrom(freshBase)
 	s.Model.CopyWeightsFrom(freshModel)
 	s.LoRA.ResetAdapters()

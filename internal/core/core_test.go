@@ -232,3 +232,80 @@ func TestIsolationAblationP99Ordering(t *testing.T) {
 		t.Fatalf("isolation should recover P99: full %v vs naive %v", full, naive)
 	}
 }
+
+// TestServeBatchMatchesSequential: the batch-amortized path must leave every
+// virtual-time statistic bit-identical to a plain Serve loop — the System
+// half of the lock-split/batching determinism contract.
+func TestServeBatchMatchesSequential(t *testing.T) {
+	const requests = 600
+	for _, batch := range []int{1, 3, 16, 64} {
+		seq := MustNew(testOptions())
+		bat := MustNew(testOptions())
+		genA := trace.MustNewGenerator(testProfile(), 5)
+		genB := trace.MustNewGenerator(testProfile(), 5)
+
+		var seqResp []Response
+		for i := 0; i < requests; i++ {
+			r, err := seq.Serve(genA.Next())
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqResp = append(seqResp, r)
+		}
+		var batResp []Response
+		buf := make([]Response, batch)
+		pending := make([]trace.Sample, 0, batch)
+		flush := func() {
+			if len(pending) == 0 {
+				return
+			}
+			if err := bat.ServeBatch(pending, buf[:len(pending)]); err != nil {
+				t.Fatal(err)
+			}
+			batResp = append(batResp, buf[:len(pending)]...)
+			pending = pending[:0]
+		}
+		for i := 0; i < requests; i++ {
+			pending = append(pending, genB.Next())
+			if len(pending) == batch {
+				flush()
+			}
+		}
+		flush()
+
+		for i := range seqResp {
+			if seqResp[i].Latency != batResp[i].Latency {
+				t.Fatalf("batch=%d req %d: latency %v != %v", batch, i, batResp[i].Latency, seqResp[i].Latency)
+			}
+		}
+		ss, bs := seq.Stats(), bat.Stats()
+		if ss.Served != bs.Served || ss.Violations != bs.Violations ||
+			ss.TrainSteps != bs.TrainSteps || ss.VirtualTime != bs.VirtualTime ||
+			ss.P99 != bs.P99 || ss.InferenceHitRatio != bs.InferenceHitRatio ||
+			ss.TrainingHitRatio != bs.TrainingHitRatio {
+			t.Fatalf("batch=%d: stats diverged:\n seq %+v\n bat %+v", batch, ss, bs)
+		}
+	}
+}
+
+// TestServeBatchValidation covers the error paths: mismatched response slots
+// and malformed samples (checked before any state mutates).
+func TestServeBatchValidation(t *testing.T) {
+	s := MustNew(testOptions())
+	gen := trace.MustNewGenerator(testProfile(), 6)
+	good := gen.Next()
+	if err := s.ServeBatch([]trace.Sample{good}, make([]Response, 2)); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	bad := good
+	bad.Sparse = bad.Sparse[:1]
+	if err := s.ServeBatch([]trace.Sample{good, bad}, make([]Response, 2)); err == nil {
+		t.Fatal("malformed sample must error")
+	}
+	if got := s.Stats().Served; got != 0 {
+		t.Fatalf("failed batch must serve nothing, served %d", got)
+	}
+	if err := s.ServeBatch(nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

@@ -312,3 +312,150 @@ func TestConfigForProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Serving fast path (zero-allocation scratch forward) ---
+
+// TestPredictWithMatchesForward: the scratch-based inference path must score
+// bit-identically to the allocating Forward path, for both embedding sources.
+func TestPredictWithMatchesForward(t *testing.T) {
+	m, b := newSetup(5)
+	sc := m.NewScratch()
+	sparse := [][]int32{{1, 7}, {3}, {9, 11, 2}}
+	dense := []float64{0.5, -1, 2, 0.25}
+	for i := 0; i < 50; i++ {
+		dense[0] = float64(i) * 0.1
+		sparse[0][0] = int32(i % 50)
+		want := Sigmoid(m.Forward(b, dense, sparse, nil))
+		if got := m.PredictWith(b, dense, sparse, sc); got != want {
+			t.Fatalf("iter %d: PredictWith = %v, Forward = %v", i, got, want)
+		}
+		if got := m.Predict(b, dense, sparse); got != want {
+			t.Fatalf("iter %d: Predict = %v, Forward = %v", i, got, want)
+		}
+	}
+}
+
+// TestPredictZeroAlloc asserts the acceptance criterion directly: the Predict
+// fast path (pooled scratch) and PredictWith (caller scratch) perform zero
+// heap allocations per call.
+func TestPredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	m, b := newSetup(6)
+	sc := m.NewScratch()
+	sparse := [][]int32{{1, 7}, {3}, {9, 11, 2}}
+	dense := []float64{0.5, -1, 2, 0.25}
+	if n := testing.AllocsPerRun(200, func() { m.PredictWith(b, dense, sparse, sc) }); n != 0 {
+		t.Fatalf("PredictWith allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { m.Predict(b, dense, sparse) }); n != 0 {
+		t.Fatalf("Predict allocates %v per run, want 0", n)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m, b := newSetup(7)
+	const n = 16
+	dense := make([][]float64, n)
+	sparse := make([][][]int32, n)
+	for i := range dense {
+		dense[i] = []float64{float64(i), 1, -1, 0.5}
+		sparse[i] = [][]int32{{int32(i)}, {int32(2 * i)}, {int32(i), int32(i + 1)}}
+	}
+	out := make([]float64, n)
+	m.PredictBatch(b, dense, sparse, out, nil)
+	for i := range out {
+		if want := m.Predict(b, dense[i], sparse[i]); out[i] != want {
+			t.Fatalf("batch[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	m.PredictBatch(b, dense[:2], sparse, out, nil)
+}
+
+// TestForwardCacheInputNotAliased is the batched-reuse regression test: a
+// caller may overwrite its input buffer after Forward (e.g. a serving loop
+// reusing one dense scratch across a batch) and Backward must still see the
+// original inputs. Gradients are compared against a run whose buffers were
+// never touched.
+func TestForwardCacheInputNotAliased(t *testing.T) {
+	mA, bA := newSetup(8)
+	mB, _ := newSetup(8) // identical weights via identical seed
+	bB := &BaseEmbeddings{Group: bA.Group}
+	sparse := [][]int32{{1}, {2}, {3}}
+	denseRef := []float64{1, -2, 3, -4}
+
+	// Reference: pristine buffers end to end.
+	var cacheA ForwardCache
+	logitA := mA.Forward(bA, denseRef, sparse, &cacheA)
+	dEmbA := mA.Backward(Sigmoid(logitA)-1, &cacheA)
+
+	// Same forward, but the caller's dense buffer is clobbered before
+	// Backward — as a buffer-reusing batch loop would do.
+	denseLive := append([]float64(nil), denseRef...)
+	var cacheB ForwardCache
+	logitB := mB.Forward(bB, denseLive, sparse, &cacheB)
+	for i := range denseLive {
+		denseLive[i] = 999
+	}
+	dEmbB := mB.Backward(Sigmoid(logitB)-1, &cacheB)
+
+	if logitA != logitB {
+		t.Fatalf("logits differ: %v vs %v", logitA, logitB)
+	}
+	for ti := range dEmbA {
+		for d := range dEmbA[ti] {
+			if dEmbA[ti][d] != dEmbB[ti][d] {
+				t.Fatalf("table %d dim %d: embedding grad differs after input clobber: %v vs %v",
+					ti, d, dEmbA[ti][d], dEmbB[ti][d])
+			}
+		}
+	}
+	// Dense-layer gradients must match too: Backward reads cache.Input.
+	for li := range mA.Bottom.Layers {
+		ga, gb := mA.Bottom.Layers[li].gradW.Data, mB.Bottom.Layers[li].gradW.Data
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("bottom layer %d gradW[%d] differs after input clobber", li, i)
+			}
+		}
+	}
+}
+
+// TestBaseApplyGradScratchReuse: the reused delta scratch must produce the
+// same table updates as the historical fresh-slice implementation, across
+// gradient widths.
+func TestBaseApplyGradScratchReuse(t *testing.T) {
+	_, b := newSetup(9)
+	ref := b.Group.Clone()
+	grad := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ApplyGrad(1, []int32{4, 5}, grad, 0.1)
+	// Reference computation with a fresh slice.
+	delta := make([]float64, len(grad))
+	for i, g := range grad {
+		delta[i] = -0.1 / 2 * g
+	}
+	for _, id := range []int32{4, 5} {
+		ref.Tables[1].ApplyRowDelta(id, delta)
+	}
+	for _, id := range []int32{4, 5} {
+		got := b.Group.Tables[1].PeekRow(id)
+		want := ref.Tables[1].PeekRow(id)
+		for d := range got {
+			if got[d] != want[d] {
+				t.Fatalf("row %d dim %d: %v != %v", id, d, got[d], want[d])
+			}
+		}
+	}
+	// Back-to-back calls reuse the same buffer without cross-talk.
+	if !raceEnabled {
+		if n := testing.AllocsPerRun(50, func() { b.ApplyGrad(0, []int32{1}, grad, 0.05) }); n != 0 {
+			t.Fatalf("ApplyGrad allocates %v per run after warmup, want 0", n)
+		}
+	}
+}

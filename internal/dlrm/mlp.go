@@ -39,7 +39,10 @@ func NewLayer(rng *tensor.RNG, in, out int, relu bool) *Layer {
 }
 
 // Forward computes the layer output and, when cache is non-nil, stores the
-// input and pre-activation needed for Backward.
+// input and pre-activation needed for Backward. The input is copied into the
+// cache (reusing its buffer), so callers may overwrite x — e.g. a batched
+// serving loop reusing one scratch buffer — between Forward and Backward
+// without corrupting backpropagation.
 func (l *Layer) Forward(x []float64, cache *LayerCache) []float64 {
 	pre := tensor.MatVec(l.W, x)
 	for i := range pre {
@@ -55,13 +58,14 @@ func (l *Layer) Forward(x []float64, cache *LayerCache) []float64 {
 		}
 	}
 	if cache != nil {
-		cache.Input = x
+		cache.Input = append(cache.Input[:0], x...)
 		cache.Pre = pre
 	}
 	return out
 }
 
-// LayerCache holds per-sample forward state for backpropagation.
+// LayerCache holds per-sample forward state for backpropagation. Input is an
+// owned copy of the forward input (never an alias of the caller's buffer).
 type LayerCache struct {
 	Input []float64
 	Pre   []float64
@@ -151,6 +155,46 @@ func (m *MLP) Forward(x []float64, cache *MLPCache) []float64 {
 			lc = &cache.layers[i]
 		}
 		out = l.Forward(out, lc)
+	}
+	return out
+}
+
+// MLPScratch holds one output buffer per layer for allocation-free inference
+// (InferInto). A scratch belongs to exactly one forward pass at a time; see
+// Model.ForwardScratch for the ownership rules.
+type MLPScratch struct {
+	acts [][]float64
+}
+
+// NewScratch allocates an inference scratch sized for this MLP.
+func (m *MLP) NewScratch() *MLPScratch {
+	s := &MLPScratch{acts: make([][]float64, len(m.Layers))}
+	for i, l := range m.Layers {
+		s.acts[i] = make([]float64, l.Out())
+	}
+	return s
+}
+
+// InferInto runs the stack through the scratch's per-layer buffers with zero
+// allocations: each layer computes Wx+b into its scratch row (MatVecInto) and
+// applies ReLU in place. The returned slice aliases the scratch's last buffer
+// and is valid until the scratch's next use. Inference only — no cache is
+// filled, so it cannot feed Backward.
+func (m *MLP) InferInto(x []float64, s *MLPScratch) []float64 {
+	if len(s.acts) != len(m.Layers) {
+		panic(fmt.Sprintf("dlrm: scratch has %d layer buffers, MLP has %d layers", len(s.acts), len(m.Layers)))
+	}
+	out := x
+	for i, l := range m.Layers {
+		buf := s.acts[i]
+		tensor.MatVecInto(buf, l.W, out)
+		for j := range buf {
+			buf[j] += l.B[j]
+		}
+		if l.ReLU {
+			tensor.ReLUInPlace(buf)
+		}
+		out = buf
 	}
 	return out
 }

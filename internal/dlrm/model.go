@@ -2,6 +2,7 @@ package dlrm
 
 import (
 	"fmt"
+	"sync"
 
 	"liveupdate/internal/emt"
 	"liveupdate/internal/tensor"
@@ -28,6 +29,11 @@ type EmbeddingSource interface {
 // direct row-wise SGD updates (the conventional training path).
 type BaseEmbeddings struct {
 	Group *emt.Group
+
+	// delta is ApplyGrad's scaled-gradient scratch, reused across calls so a
+	// training tick performs no per-sample allocation. ApplyGrad is owner-only
+	// (serialized with the training loop), so one buffer suffices.
+	delta []float64
 }
 
 // NumTables implements EmbeddingSource.
@@ -49,7 +55,10 @@ func (b *BaseEmbeddings) ApplyGrad(table int, ids []int32, grad []float64, lr fl
 	}
 	t := b.Group.Tables[table]
 	scale := -lr / float64(len(ids))
-	delta := make([]float64, len(grad))
+	if cap(b.delta) < len(grad) {
+		b.delta = make([]float64, len(grad))
+	}
+	delta := b.delta[:len(grad)]
 	for i, g := range grad {
 		delta[i] = scale * g
 	}
@@ -94,6 +103,11 @@ type Model struct {
 	Cfg    Config
 	Bottom *MLP
 	Top    *MLP
+
+	// scratch pools ForwardScratch values for the allocation-free Predict
+	// fast path. Acquire/Release cycle through it; Predict itself is safe for
+	// concurrent callers because every call checks out its own scratch.
+	scratch sync.Pool
 }
 
 // NewModel builds a model for cfg with Xavier initialization from rng.
@@ -174,9 +188,119 @@ func (m *Model) Forward(src EmbeddingSource, dense []float64, sparse [][]int32, 
 	return out[0]
 }
 
-// Predict returns the click probability for one example.
+// ForwardScratch owns every buffer one inference forward pass touches: the
+// per-layer MLP activations, the gathered (pooled) embedding rows, the
+// interaction-feature view, and the top-MLP input. Reusing a scratch across
+// requests makes PredictWith allocation-free.
+//
+// Ownership rules: a scratch serves one forward pass at a time — it is NOT
+// safe for concurrent use; callers either thread their own (NewScratch /
+// AcquireScratch+ReleaseScratch) through a serialized serving loop, or call
+// Predict, which checks a pooled scratch out per call. All result slices
+// handed out during a pass alias scratch storage and are invalidated by the
+// next pass.
+type ForwardScratch struct {
+	bottom *MLPScratch
+	top    *MLPScratch
+
+	// features[0] aliases the bottom MLP output; features[1..T] are the
+	// pooled embedding gather buffers, backed by embBuf.
+	features [][]float64
+	embBuf   []float64
+	topIn    []float64
+}
+
+// NewScratch allocates a forward scratch sized for this model. The scratch is
+// tied to the model's architecture; using it with a different model panics in
+// the underlying shape checks.
+func (m *Model) NewScratch() *ForwardScratch {
+	cfg := m.Cfg
+	sc := &ForwardScratch{
+		bottom:   m.Bottom.NewScratch(),
+		top:      m.Top.NewScratch(),
+		features: make([][]float64, cfg.NumTables+1),
+		embBuf:   make([]float64, cfg.NumTables*cfg.EmbeddingDim),
+		topIn:    make([]float64, 0, cfg.EmbeddingDim+cfg.InteractionCount()),
+	}
+	for t := 0; t < cfg.NumTables; t++ {
+		sc.features[t+1] = sc.embBuf[t*cfg.EmbeddingDim : (t+1)*cfg.EmbeddingDim]
+	}
+	return sc
+}
+
+// AcquireScratch checks a scratch out of the model's pool (allocating one
+// only when the pool is empty). Pair with ReleaseScratch.
+func (m *Model) AcquireScratch() *ForwardScratch {
+	if sc, ok := m.scratch.Get().(*ForwardScratch); ok {
+		return sc
+	}
+	return m.NewScratch()
+}
+
+// ReleaseScratch returns a scratch to the pool for reuse.
+func (m *Model) ReleaseScratch(sc *ForwardScratch) { m.scratch.Put(sc) }
+
+// forwardInto is the inference-only forward pass through caller-owned
+// buffers: bottom MLP (in-place ReLU), embedding gather into the scratch's
+// feature rows, pairwise dot-product interactions appended into the top-input
+// buffer, top MLP. It performs zero heap allocations and fills no
+// backpropagation cache.
+func (m *Model) forwardInto(src EmbeddingSource, dense []float64, sparse [][]int32, sc *ForwardScratch) float64 {
+	cfg := m.Cfg
+	if len(dense) != cfg.NumDense {
+		panic(fmt.Sprintf("dlrm: dense len %d != %d", len(dense), cfg.NumDense))
+	}
+	if len(sparse) != cfg.NumTables {
+		panic(fmt.Sprintf("dlrm: sparse tables %d != %d", len(sparse), cfg.NumTables))
+	}
+	z := m.Bottom.InferInto(dense, sc.bottom)
+	sc.features[0] = z
+	for t := 0; t < cfg.NumTables; t++ {
+		src.Lookup(t, sparse[t], sc.features[t+1])
+	}
+	topIn := append(sc.topIn[:0], z...)
+	features := sc.features
+	for i := 0; i < len(features); i++ {
+		for j := i + 1; j < len(features); j++ {
+			topIn = append(topIn, tensor.Dot(features[i], features[j]))
+		}
+	}
+	out := m.Top.InferInto(topIn, sc.top)
+	return out[0]
+}
+
+// Predict returns the click probability for one example. This is the serving
+// fast path: it runs through a pooled ForwardScratch and performs zero heap
+// allocations in steady state (verified by TestPredictZeroAlloc and gated in
+// CI by BenchmarkServeRequestNoAlloc).
 func (m *Model) Predict(src EmbeddingSource, dense []float64, sparse [][]int32) float64 {
-	return Sigmoid(m.Forward(src, dense, sparse, nil))
+	sc := m.AcquireScratch()
+	p := Sigmoid(m.forwardInto(src, dense, sparse, sc))
+	m.ReleaseScratch(sc)
+	return p
+}
+
+// PredictWith is Predict through a caller-owned scratch — the batch-amortized
+// form: acquire one scratch, score many requests, release once.
+func (m *Model) PredictWith(src EmbeddingSource, dense []float64, sparse [][]int32, sc *ForwardScratch) float64 {
+	return Sigmoid(m.forwardInto(src, dense, sparse, sc))
+}
+
+// PredictBatch scores len(out) examples through one scratch, writing click
+// probabilities into out. dense, sparse, and out must have equal lengths; a
+// nil sc acquires (and releases) a pooled scratch for the whole batch.
+func (m *Model) PredictBatch(src EmbeddingSource, dense [][]float64, sparse [][][]int32, out []float64, sc *ForwardScratch) {
+	if len(dense) != len(out) || len(sparse) != len(out) {
+		panic(fmt.Sprintf("dlrm: PredictBatch lengths dense=%d sparse=%d out=%d",
+			len(dense), len(sparse), len(out)))
+	}
+	if sc == nil {
+		sc = m.AcquireScratch()
+		defer m.ReleaseScratch(sc)
+	}
+	for i := range out {
+		out[i] = Sigmoid(m.forwardInto(src, dense[i], sparse[i], sc))
+	}
 }
 
 // Backward backpropagates dLogit through the model, accumulating dense-layer
@@ -220,14 +344,28 @@ func (m *Model) Backward(dLogit float64, cache *ForwardCache) [][]float64 {
 // immediately through src at rate embLR. It returns the example's BCE loss.
 func (m *Model) TrainStep(src EmbeddingSource, dense []float64, sparse [][]int32, label int, embLR float64) float64 {
 	var cache ForwardCache
-	logit := m.Forward(src, dense, sparse, &cache)
+	return m.TrainStepWith(src, dense, sparse, label, embLR, &cache)
+}
+
+// TrainStepWith is TrainStep through a caller-owned forward cache. Reusing
+// one cache across a mini-batch amortizes the per-sample cache allocations
+// (Forward overwrites every field it reads, so reuse is safe).
+func (m *Model) TrainStepWith(src EmbeddingSource, dense []float64, sparse [][]int32, label int, embLR float64, cache *ForwardCache) float64 {
+	logit := m.Forward(src, dense, sparse, cache)
 	loss := BCELossWithLogit(logit, label)
 	dLogit := Sigmoid(logit) - float64(label)
-	dEmb := m.Backward(dLogit, &cache)
+	dEmb := m.Backward(dLogit, cache)
 	for t, g := range dEmb {
 		src.ApplyGrad(t, sparse[t], g, embLR)
 	}
 	return loss
+}
+
+// InferLogit is the raw-logit form of PredictWith — the allocation-free
+// inference pass without the sigmoid, for callers that rank by score (AUC
+// evaluation) or apply their own link function.
+func (m *Model) InferLogit(src EmbeddingSource, dense []float64, sparse [][]int32, sc *ForwardScratch) float64 {
+	return m.forwardInto(src, dense, sparse, sc)
 }
 
 // Clone deep-copies the dense parameters.

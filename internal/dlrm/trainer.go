@@ -21,8 +21,9 @@ func (tr *Trainer) TrainBatch(batch []trace.Sample) float64 {
 		return 0
 	}
 	total := 0.0
+	var cache ForwardCache // reused across the batch (Forward overwrites it)
 	for _, s := range batch {
-		total += tr.Model.TrainStep(tr.Emb, s.Dense, s.Sparse, s.Label, tr.EmbLR)
+		total += tr.Model.TrainStepWith(tr.Emb, s.Dense, s.Sparse, s.Label, tr.EmbLR, &cache)
 	}
 	tr.Opt.Step(tr.Model.Bottom, len(batch))
 	tr.Opt.Step(tr.Model.Top, len(batch))
@@ -48,14 +49,19 @@ func (tr *Trainer) TrainEpochs(samples []trace.Sample, batchSize, epochs int) fl
 	return last
 }
 
-// EvaluateAUC scores samples with the model and returns the AUC-ROC.
+// EvaluateAUC scores samples with the model and returns the AUC-ROC. Scoring
+// runs through one shared inference scratch (raw logits — the ranking is
+// sigmoid-invariant, and the values match the historical cache-free Forward
+// bit for bit).
 func EvaluateAUC(m *Model, src EmbeddingSource, samples []trace.Sample) float64 {
 	scores := make([]float64, len(samples))
 	labels := make([]int, len(samples))
+	sc := m.AcquireScratch()
 	for i, s := range samples {
-		scores[i] = m.Forward(src, s.Dense, s.Sparse, nil)
+		scores[i] = m.InferLogit(src, s.Dense, s.Sparse, sc)
 		labels[i] = s.Label
 	}
+	m.ReleaseScratch(sc)
 	return metrics.AUC(scores, labels)
 }
 

@@ -22,6 +22,16 @@
 // measured time and naturally vary between runs; everything derived from the
 // virtual clock does not.
 //
+// # Batching
+//
+// With Config.BatchSize > 1 against a server exposing a batch path, each
+// lane worker opportunistically coalesces consecutive same-shard queued
+// items into one ServeShardBatch/ServeBatch call — the zero-allocation
+// amortized fast path through the serving stack. Coalescing never reorders a
+// queue and never waits for a batch to fill, so per-shard request order — and
+// with it every virtual-time statistic, worker-count invariance included — is
+// identical to unbatched driving (TestDriveBatchedMatchesUnbatched).
+//
 // # Chaos schedules
 //
 // A drive over an Elastic server can carry a fleet.Schedule of membership
@@ -77,6 +87,28 @@ type ShardedServer interface {
 	ServeShard(int, trace.Sample) (core.Response, error)
 }
 
+// BatchedServer is a ShardedServer whose shards accept a coalesced run of
+// same-shard requests in one amortized call — a Cluster. With
+// Config.BatchSize > 1 the driver's lane workers drain up to BatchSize
+// consecutive same-shard items from their queue into one ServeShardBatch
+// call, amortizing buffer acquisition and lock traffic while per-shard FIFO
+// order (and with it every virtual-time statistic) is preserved exactly.
+type BatchedServer interface {
+	ShardedServer
+	// ServeShardBatch serves pre-routed same-shard samples in order, filling
+	// resps (same length) with the per-request responses.
+	ServeShardBatch(shard int, samples []trace.Sample, resps []core.Response) error
+}
+
+// BatchServer is a non-sharded Server with an amortized batch path (a single
+// core.System): all load flows through one lane, and the lane's worker
+// coalesces into ServeBatch when Config.BatchSize > 1.
+type BatchServer interface {
+	Server
+	// ServeBatch serves samples in order, filling resps (same length).
+	ServeBatch(samples []trace.Sample, resps []core.Response) error
+}
+
 // Elastic is a sharded server whose replica membership can change while it
 // serves — a Cluster backed by the fleet controller. The driver needs it to
 // run a chaos schedule: events apply through ApplyChaos, and VirtualNow
@@ -128,6 +160,16 @@ type Config struct {
 	// Smaller values tighten how closely event timestamps are honored at
 	// the cost of more frequent pipeline drains.
 	ChaosEvery int
+
+	// BatchSize, when > 1 against a server with a batch path (BatchedServer
+	// or BatchServer), lets each lane worker coalesce up to BatchSize
+	// consecutive same-shard queued requests into one amortized serve call.
+	// Coalescing is opportunistic — a worker never waits for a batch to
+	// fill, so batches only form when the queue runs ahead of the server —
+	// and order-preserving, so virtual-time statistics are identical to
+	// unbatched driving at any worker count. 0 or 1 disables batching, as
+	// does a server without a batch path.
+	BatchSize int
 }
 
 // reservoirCap bounds per-worker latency reservoirs (algorithm R).
@@ -138,6 +180,7 @@ type WorkerStats struct {
 	Worker      int           // worker index
 	Shards      []int         // shards this worker owned (empty = idle)
 	Served      uint64        // requests this worker served
+	Batches     uint64        // serve calls issued (== Served when unbatched)
 	Busy        time.Duration // wall-clock time spent inside Serve
 	MeanLatency float64       // mean virtual latency of this worker's requests, seconds
 	P99Latency  float64       // reservoir-estimated virtual P99, seconds (NaN if idle)
@@ -147,10 +190,12 @@ type WorkerStats struct {
 // fixed workload seed (and, for per-worker fields, fixed driver seed and
 // concurrency); wall-clock fields are measured.
 type Report struct {
-	Requests int    // requests asked for
-	Served   uint64 // requests actually served (== Requests unless cancelled)
-	Workers  int    // client goroutines
-	Shards   int    // server shards driven
+	Requests  int    // requests asked for
+	Served    uint64 // requests actually served (== Requests unless cancelled)
+	Workers   int    // client goroutines
+	Shards    int    // server shards driven
+	BatchSize int    // effective coalescing cap (1 = unbatched)
+	Batches   uint64 // serve calls issued across all workers
 
 	Elapsed time.Duration // wall-clock drive duration
 	QPS     float64       // Served / Elapsed (wall-clock throughput)
@@ -275,6 +320,27 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 		shards = sharded.NumShards()
 		if shards < 1 {
 			return Report{}, fmt.Errorf("driver: server reports %d shards", shards)
+		}
+	}
+
+	// Batching: only effective when the server has an amortized batch path.
+	batchCap := cfg.BatchSize
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	var shardBatcher BatchedServer
+	var plainBatcher BatchServer
+	if batchCap > 1 {
+		if isSharded {
+			if bs, ok := srv.(BatchedServer); ok {
+				shardBatcher = bs
+			} else {
+				batchCap = 1
+			}
+		} else if bs, ok := srv.(BatchServer); ok {
+			plainBatcher = bs
+		} else {
+			batchCap = 1
 		}
 	}
 
@@ -406,33 +472,80 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 			defer workWG.Done()
 			rng := tensor.NewRNG(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
 			reservoir := make([]float64, 0, reservoirCap)
-			var seen uint64
+			var seen, batches uint64
 			var latSum float64
 			var busy time.Duration
 			q := queues[w]
+			batch := make([]trace.Sample, 0, batchCap)
+			resps := make([]core.Response, batchCap)
+			var held *item // same-queue item that broke a coalescing run
+			var heldItem item
 		loop:
 			for {
-				select {
-				case it, ok := <-q:
-					if !ok {
-						break loop // sequencer done, queue drained
-					}
-					t0 := time.Now()
-					var resp core.Response
-					var err error
-					if isSharded {
-						resp, err = sharded.ServeShard(it.shard, it.sample)
-					} else {
-						resp, err = srv.Serve(it.sample)
-					}
-					busy += time.Since(t0)
-					if gate != nil {
-						gate.done()
-					}
-					if err != nil {
-						abort(fmt.Errorf("driver: worker %d shard %d: %w", w, it.shard, err))
+				// First item of the next serve call: a held-over item from
+				// the previous coalescing run, or a blocking receive.
+				var first item
+				if held != nil {
+					first, held = *held, nil
+				} else {
+					select {
+					case it, ok := <-q:
+						if !ok {
+							break loop // sequencer done, queue drained
+						}
+						first = it
+					case <-ctx.Done():
 						break loop
 					}
+				}
+				shard := first.shard
+				batch = append(batch[:0], first.sample)
+				// Opportunistic coalescing: drain consecutive queued items
+				// for the same shard, never waiting for more to arrive.
+				// Stopping at the first foreign-shard item preserves the
+				// queue's FIFO order for every shard this worker owns.
+			fill:
+				for batchCap > 1 && len(batch) < batchCap {
+					select {
+					case it, ok := <-q:
+						if !ok {
+							break fill // closed: serve what we have, then exit via the outer receive
+						}
+						if it.shard != shard {
+							heldItem = it
+							held = &heldItem
+							break fill
+						}
+						batch = append(batch, it.sample)
+					default:
+						break fill
+					}
+				}
+
+				t0 := time.Now()
+				var err error
+				switch {
+				case shardBatcher != nil:
+					err = shardBatcher.ServeShardBatch(shard, batch, resps[:len(batch)])
+				case plainBatcher != nil:
+					err = plainBatcher.ServeBatch(batch, resps[:len(batch)])
+				case isSharded:
+					resps[0], err = sharded.ServeShard(shard, batch[0])
+				default:
+					resps[0], err = srv.Serve(batch[0])
+				}
+				busy += time.Since(t0)
+				batches++
+				if gate != nil {
+					for range batch {
+						gate.done()
+					}
+				}
+				if err != nil {
+					abort(fmt.Errorf("driver: worker %d shard %d: %w", w, shard, err))
+					break loop
+				}
+				for _, resp := range resps[:len(batch)] {
 					seen++
 					latSum += resp.Latency
 					// Algorithm R reservoir on the worker's private stream.
@@ -448,11 +561,9 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 							progressMu.Unlock()
 						}
 					}
-				case <-ctx.Done():
-					break loop
 				}
 			}
-			ws := WorkerStats{Worker: w, Served: seen, Busy: busy}
+			ws := WorkerStats{Worker: w, Served: seen, Batches: batches, Busy: busy}
 			ws.P99Latency = math.NaN() // idle: quantile undefined, mirror Cluster.Stats
 			if seen > 0 {
 				ws.MeanLatency = latSum / float64(seen)
@@ -476,16 +587,19 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 		perWorker[w].Shards = append(perWorker[w].Shards, s)
 	}
 
-	var servedTotal uint64
+	var servedTotal, batchTotal uint64
 	for _, ws := range perWorker {
 		servedTotal += ws.Served
+		batchTotal += ws.Batches
 	}
 	rep := Report{
-		Requests: cfg.Requests,
-		Served:   servedTotal,
-		Workers:  workers,
-		Shards:   shards,
-		Elapsed:  elapsed,
+		Requests:  cfg.Requests,
+		Served:    servedTotal,
+		Workers:   workers,
+		Shards:    shards,
+		BatchSize: batchCap,
+		Batches:   batchTotal,
+		Elapsed:   elapsed,
 		// A drive that finished all its requests is complete, even if the
 		// context happened to expire in the same instant.
 		Cancelled:    driveErr == nil && ctx.Err() != nil && servedTotal < uint64(cfg.Requests),

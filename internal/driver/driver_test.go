@@ -564,3 +564,143 @@ func TestDriveChaosConfigErrors(t *testing.T) {
 		t.Fatal("invalid schedule must be a config error")
 	}
 }
+
+// TestDriveBatchedMatchesUnbatched: lane-worker coalescing must leave every
+// virtual-time statistic identical to unbatched driving, across batch sizes,
+// worker counts, and both sync modes. Per-worker stats are also checked at a
+// fixed worker count: coalescing preserves each queue's serve order, so the
+// reservoir streams match item for item.
+func TestDriveBatchedMatchesUnbatched(t *testing.T) {
+	const requests = 3000
+	for _, mode := range []cluster.SyncMode{cluster.SyncBarrier, cluster.SyncAsync} {
+		run := func(workers, batch int) Report {
+			c := testClusterMode(t, 4, cluster.Hash, mode)
+			gen := trace.MustNewGenerator(testProfile(t), 7)
+			rep, err := Drive(context.Background(), c, gen.Next, Config{
+				Requests: requests, Workers: workers, Seed: 1, BatchSize: batch,
+			})
+			if err != nil {
+				t.Fatalf("mode=%s workers=%d batch=%d: %v", mode, workers, batch, err)
+			}
+			if rep.Served != requests {
+				t.Fatalf("mode=%s workers=%d batch=%d: served %d", mode, workers, batch, rep.Served)
+			}
+			return rep
+		}
+		want := virtualKeyOf(run(1, 1).Final)
+		if want.syncs == 0 {
+			t.Fatalf("mode=%s: no periodic syncs fired", mode)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			for _, batch := range []int{4, 16} {
+				rep := run(workers, batch)
+				if rep.BatchSize != batch {
+					t.Fatalf("mode=%s: effective batch %d, want %d", mode, rep.BatchSize, batch)
+				}
+				got := virtualKeyOf(rep.Final)
+				if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+					t.Fatalf("mode=%s workers=%d batch=%d: virtual stats differ:\n want %+v\n got  %+v",
+						mode, workers, batch, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDriveBatchedPerWorkerOrder: at a fixed worker count, batched and
+// unbatched drives must produce identical per-worker virtual statistics —
+// the strongest order-preservation check (reservoir streams are
+// order-sensitive).
+func TestDriveBatchedPerWorkerOrder(t *testing.T) {
+	run := func(batch int) Report {
+		c := testClusterMode(t, 4, cluster.Hash, cluster.SyncBarrier)
+		gen := trace.MustNewGenerator(testProfile(t), 11)
+		rep, err := Drive(context.Background(), c, gen.Next, Config{
+			Requests: 2000, Workers: 2, Seed: 9, BatchSize: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(16)
+	if b.Batches > a.Batches {
+		t.Fatalf("batched drive issued more serve calls (%d) than unbatched (%d)", b.Batches, a.Batches)
+	}
+	for w := range a.PerWorker {
+		wa, wb := a.PerWorker[w], b.PerWorker[w]
+		if wa.Served != wb.Served || wa.MeanLatency != wb.MeanLatency ||
+			(wa.P99Latency != wb.P99Latency && !(math.IsNaN(wa.P99Latency) && math.IsNaN(wb.P99Latency))) {
+			t.Fatalf("worker %d stats differ batched vs not: %+v vs %+v", w, wa, wb)
+		}
+	}
+}
+
+// TestDriveBatchSingleSystem: batching against a non-sharded System goes
+// through BatchServer.ServeBatch and still matches the sequential loop.
+func TestDriveBatchSingleSystem(t *testing.T) {
+	opts := core.DefaultOptions(testProfile(t), 42)
+	opts.TrainInterval = 4
+	seq := core.MustNew(opts)
+	gen := trace.MustNewGenerator(testProfile(t), 3)
+	for i := 0; i < 800; i++ {
+		if _, err := seq.Serve(gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driven := core.MustNew(opts)
+	gen2 := trace.MustNewGenerator(testProfile(t), 3)
+	rep, err := Drive(context.Background(), driven, gen2.Next, Config{
+		Requests: 800, Workers: 4, Seed: 1, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served != 800 {
+		t.Fatalf("served %d", rep.Served)
+	}
+	ss, ds := seq.Stats(), driven.Stats()
+	if ss.Served != ds.Served || ss.VirtualTime != ds.VirtualTime ||
+		ss.Violations != ds.Violations || ss.TrainSteps != ds.TrainSteps || ss.P99 != ds.P99 {
+		t.Fatalf("single-system batched drive diverged:\n seq %+v\n drv %+v", ss, ds)
+	}
+}
+
+// TestDriveBatchWithChaos: coalescing composes with chaos drain points — the
+// gate counts every coalesced item, so membership events still land at fully
+// drained, deterministic positions.
+func TestDriveBatchWithChaos(t *testing.T) {
+	schedule, err := fleet.ParseScript("@1500ms kill 1; @2500ms scale 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want Report
+	for i, batch := range []int{1, 8} {
+		c := testClusterMode(t, 4, cluster.Hash, cluster.SyncAsync)
+		gen := trace.MustNewGenerator(testProfile(t), 7)
+		rep, err := Drive(context.Background(), c, gen.Next, Config{
+			Requests: 4000, Workers: 3, Seed: 1, BatchSize: batch, Chaos: schedule,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Served != 4000 {
+			t.Fatalf("batch=%d: served %d", batch, rep.Served)
+		}
+		if len(rep.Chaos) != 2 {
+			t.Fatalf("batch=%d: applied %d chaos events, want 2", batch, len(rep.Chaos))
+		}
+		if i == 0 {
+			want = rep
+			continue
+		}
+		for j := range want.Chaos {
+			if want.Chaos[j] != rep.Chaos[j] {
+				t.Fatalf("chaos placement differs batched vs not: %+v vs %+v", want.Chaos[j], rep.Chaos[j])
+			}
+		}
+		if a, b := virtualKeyOf(want.Final), virtualKeyOf(rep.Final); fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("chaos virtual stats differ batched vs not:\n %+v\n %+v", a, b)
+		}
+	}
+}

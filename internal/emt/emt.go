@@ -8,6 +8,7 @@ package emt
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"liveupdate/internal/tensor"
 )
@@ -25,6 +26,10 @@ type Table struct {
 	dirty map[int32]struct{}
 
 	// accesses counts lookups per row for hot/cold classification (Fig 12).
+	// Incremented atomically: Row/Lookup run on the serving fast path, which
+	// is lock-free with respect to the owner's bookkeeping, so concurrent
+	// requests on one replica may record accesses at the same time. Readers
+	// (AccessCounts) are expected to run quiesced (experiments, tests).
 	accesses []uint64
 }
 
@@ -50,10 +55,11 @@ func (t *Table) Rows() int { return t.weights.Rows }
 func (t *Table) Version() uint64 { return t.version }
 
 // Row returns the embedding vector for id, aliasing internal storage, and
-// records the access. Callers must not modify the returned slice; use
-// ApplyRowDelta or SetRow for writes so dirty tracking stays correct.
+// records the access (atomically — Row is called from the lock-free serving
+// forward). Callers must not modify the returned slice; use ApplyRowDelta or
+// SetRow for writes so dirty tracking stays correct.
 func (t *Table) Row(id int32) []float64 {
-	t.accesses[id]++
+	atomic.AddUint64(&t.accesses[id], 1)
 	return t.weights.Row(int(id))
 }
 
@@ -120,13 +126,15 @@ func (t *Table) DirtyIDs() []int32 {
 // ResetDirty clears the dirty set, starting a new tracking window.
 func (t *Table) ResetDirty() { t.dirty = make(map[int32]struct{}) }
 
-// AccessCounts returns per-row lookup counts (aliases internal state).
+// AccessCounts returns per-row lookup counts (aliases internal state). Call
+// it only while no request is in flight on the owning node; the counters are
+// written atomically by the serving path.
 func (t *Table) AccessCounts() []uint64 { return t.accesses }
 
 // ResetAccessCounts zeroes the lookup counters.
 func (t *Table) ResetAccessCounts() {
 	for i := range t.accesses {
-		t.accesses[i] = 0
+		atomic.StoreUint64(&t.accesses[i], 0)
 	}
 }
 

@@ -66,10 +66,11 @@ func Elastic(o Options) (Report, error) {
 			return driver.Report{}, err
 		}
 		return driver.Drive(context.Background(), c, gen.Next, driver.Config{
-			Requests: requests,
-			Workers:  8,
-			Seed:     o.Seed,
-			Chaos:    schedule,
+			Requests:  requests,
+			Workers:   8,
+			Seed:      o.Seed,
+			Chaos:     schedule,
+			BatchSize: o.Batch,
 		})
 	}
 

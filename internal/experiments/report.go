@@ -73,6 +73,11 @@ type Options struct {
 	// schedule with a parsed chaos script (the -chaos flag grammar); empty
 	// uses the built-in kill/replace/scale sequence.
 	Chaos string
+
+	// Batch sets the load driver's lane-coalescing batch size for the
+	// fleet-serving experiments (syncpipe, elastic); 0 or 1 drives unbatched.
+	// Virtual-time columns are batch-invariant; wall-clock throughput is not.
+	Batch int
 }
 
 // Runner executes one experiment.

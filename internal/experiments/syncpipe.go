@@ -69,9 +69,10 @@ func Syncpipe(o Options) (Report, error) {
 			return Report{}, err
 		}
 		dr, err := driver.Drive(context.Background(), fleet, gen.Next, driver.Config{
-			Requests: requests,
-			Workers:  8,
-			Seed:     o.Seed,
+			Requests:  requests,
+			Workers:   8,
+			Seed:      o.Seed,
+			BatchSize: o.Batch,
 		})
 		if err != nil {
 			return Report{}, fmt.Errorf("syncpipe %s: %w", mode, err)

@@ -126,6 +126,11 @@ type Adapter struct {
 	adaptations int // completed rank/prune passes
 	pruned      int // total rows evicted
 
+	// dbScratch is Train's dB gradient accumulator, reused across calls so a
+	// training tick allocates nothing per sample (owner-only, like Train
+	// itself); it is rebuilt when the rank changes.
+	dbScratch *tensor.Matrix
+
 	rng *tensor.RNG // A-row initialization
 }
 
@@ -232,7 +237,15 @@ func (a *Adapter) Train(ids []int32, grad []float64, lr float64) {
 	invPool := 1 / float64(len(ids))
 
 	// dB accumulates Σ_i A[i]ᵀ·(grad/pool); computed before A rows move.
-	dB := tensor.NewMatrix(st.rank, a.cfg.Dim)
+	// The scratch is reused across calls: zeroing is cheaper than allocating
+	// and keeps the train tick off the garbage collector entirely.
+	dB := a.dbScratch
+	if dB == nil || dB.Rows != st.rank || dB.Cols != a.cfg.Dim {
+		dB = tensor.NewMatrix(st.rank, a.cfg.Dim)
+		a.dbScratch = dB
+	} else {
+		dB.Zero()
+	}
 	for _, id := range ids {
 		row := a.ensureRow(st, id)
 		if row == nil {

@@ -56,11 +56,21 @@ func (r *RingBuffer) Sample(rng *tensor.RNG, n int) []trace.Sample {
 	if r.count == 0 || n <= 0 {
 		return nil
 	}
-	out := make([]trace.Sample, n)
-	for i := range out {
-		out[i] = r.buf[rng.Intn(r.count)]
+	return r.SampleInto(rng, make([]trace.Sample, n))
+}
+
+// SampleInto is Sample through a caller-owned buffer, filling dst entirely
+// and returning it — the allocation-free form the train tick reuses. It
+// returns nil (drawing nothing from rng) when the buffer is empty, so its RNG
+// consumption matches Sample's exactly.
+func (r *RingBuffer) SampleInto(rng *tensor.RNG, dst []trace.Sample) []trace.Sample {
+	if r.count == 0 || len(dst) == 0 {
+		return nil
 	}
-	return out
+	for i := range dst {
+		dst[i] = r.buf[rng.Intn(r.count)]
+	}
+	return dst
 }
 
 // Recent returns up to n of the most recently pushed samples, newest last.
@@ -119,6 +129,12 @@ func (c NodeConfig) Validate() error {
 // Node is one inference server: it scores requests through the DLRM using
 // an EmbeddingSource, charges every embedding-row access to the machine
 // model, caches request data for the trainer, and tracks tail latency.
+//
+// The serving path is split in two (see core.System for the locking): Predict
+// is read-only and lock-free — model weights and adapter state are read
+// through their copy-on-write publishes, embedding access counters are
+// atomic — while Commit mutates node state (ring, tracker, machine model,
+// clock) and must be serialized by the owner.
 type Node struct {
 	Cfg     NodeConfig
 	Model   *dlrm.Model
@@ -162,19 +178,35 @@ func MustNewNode(cfg NodeConfig, model *dlrm.Model, emb dlrm.EmbeddingSource,
 	return n
 }
 
-// Serve scores one request: embedding rows are fetched through the memory
-// model (inference workload, cached path), the dense layers run on the
-// simulated GPU, the request is cached for the online trainer, and the
-// clock advances by the request latency (sequential-server model).
-// It returns the predicted probability and the request latency in seconds.
-func (n *Node) Serve(s trace.Sample) (prob, latency float64) {
+// Predict scores one request through the DLRM and the node's embedding
+// source. It is the lock-free half of the serving fast path: it touches no
+// node bookkeeping (ring, clocks, counters, machine model), runs through a
+// pooled forward scratch with zero heap allocations, and is safe concurrently
+// with Commit, Stats reads, and adapter publishes on the same node.
+func (n *Node) Predict(s trace.Sample) float64 {
+	return n.Model.Predict(n.Emb, s.Dense, s.Sparse)
+}
+
+// PredictWith is Predict through a caller-owned scratch — the batched form:
+// one scratch scores a whole run of requests without touching the pool.
+func (n *Node) PredictWith(s trace.Sample, sc *dlrm.ForwardScratch) float64 {
+	return n.Model.PredictWith(n.Emb, s.Dense, s.Sparse, sc)
+}
+
+// Commit performs one request's bookkeeping tail: embedding-row fetches are
+// charged to the memory model (inference workload, cached path), the request
+// is cached for the online trainer, tail latency and SLA violations are
+// tracked, and the clock advances by the request latency (sequential-server
+// model). It returns the request latency in seconds. Commit mutates node
+// state and must be serialized by the owner (core.System's mutex); per-node
+// Commit order is what the virtual-time determinism contract is defined over.
+func (n *Node) Commit(s trace.Sample) (latency float64) {
 	memTime := 0.0
 	for t, ids := range s.Sparse {
 		for _, id := range ids {
 			memTime += n.Machine.Access(numasim.Inference, numasim.KindCached, int32(t), id)
 		}
 	}
-	prob = n.Model.Predict(n.Emb, s.Dense, s.Sparse)
 	latency = memTime + n.Cfg.GPUDenseTime
 	n.Ring.Push(s)
 	n.Lat.Observe(latency)
@@ -183,18 +215,32 @@ func (n *Node) Serve(s trace.Sample) (prob, latency float64) {
 		n.violations.Add(1)
 	}
 	n.Clock.Advance(latency)
-	return prob, latency
+	return latency
 }
 
-// ServeBatch serves samples sequentially and returns their mean latency.
+// Serve scores one request and commits its bookkeeping — Predict + Commit.
+// It returns the predicted probability and the request latency in seconds.
+// Like Commit, it must be serialized by the owner.
+func (n *Node) Serve(s trace.Sample) (prob, latency float64) {
+	prob = n.Predict(s)
+	return prob, n.Commit(s)
+}
+
+// ServeBatch serves samples in order through one shared forward scratch —
+// the amortized batch path: buffers are acquired once for the whole batch
+// while every request still gets its own memory-model charges, ring push,
+// latency observation, and clock advance, so virtual-time statistics are
+// identical to a loop over Serve. It returns the mean request latency.
 func (n *Node) ServeBatch(samples []trace.Sample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
+	sc := n.Model.AcquireScratch()
+	defer n.Model.ReleaseScratch(sc)
 	total := 0.0
 	for _, s := range samples {
-		_, l := n.Serve(s)
-		total += l
+		n.Model.PredictWith(n.Emb, s.Dense, s.Sparse, sc)
+		total += n.Commit(s)
 	}
 	return total / float64(len(samples))
 }

@@ -221,3 +221,71 @@ func TestHotRowsServedFromCache(t *testing.T) {
 		t.Fatalf("steady-state hit ratio %v too low for Zipf traffic", hr)
 	}
 }
+
+// --- Serving fast path ---
+
+// TestServeEqualsPredictPlusCommit: the split serving path is exactly the
+// composed one — same probability, same latency, same bookkeeping — so the
+// lock-split System can call the halves separately without changing any
+// virtual-time statistic.
+func TestServeEqualsPredictPlusCommit(t *testing.T) {
+	a, genA := newTestNode(t)
+	b, genB := newTestNode(t)
+	for i := 0; i < 300; i++ {
+		sa, sb := genA.Next(), genB.Next()
+		probA, latA := a.Serve(sa)
+		probB := b.Predict(sb)
+		latB := b.Commit(sb)
+		if probA != probB || latA != latB {
+			t.Fatalf("req %d: Serve (%v, %v) != Predict+Commit (%v, %v)", i, probA, latA, probB, latB)
+		}
+	}
+	if a.Served() != b.Served() || a.Violations() != b.Violations() ||
+		a.Clock.Now() != b.Clock.Now() || a.P99() != b.P99() ||
+		a.Ring.Total() != b.Ring.Total() {
+		t.Fatalf("bookkeeping diverged: served %d/%d clock %v/%v",
+			a.Served(), b.Served(), a.Clock.Now(), b.Clock.Now())
+	}
+}
+
+// TestServeBatchMatchesServeLoop: the amortized batch path must produce
+// bit-identical virtual-time state to a plain loop over Serve.
+func TestServeBatchMatchesServeLoop(t *testing.T) {
+	a, genA := newTestNode(t)
+	b, genB := newTestNode(t)
+	batch := make([]trace.Sample, 64)
+	loopTotal := 0.0
+	for i := range batch {
+		batch[i] = genA.Next()
+		genB.Next() // keep generators aligned (samples are identical streams)
+	}
+	for _, s := range batch {
+		_, l := a.Serve(s)
+		loopTotal += l
+	}
+	mean := b.ServeBatch(batch)
+	if want := loopTotal / float64(len(batch)); mean != want {
+		t.Fatalf("batch mean latency %v, want %v", mean, want)
+	}
+	if a.Served() != b.Served() || a.Clock.Now() != b.Clock.Now() ||
+		a.Violations() != b.Violations() || a.P99() != b.P99() {
+		t.Fatalf("batch bookkeeping diverged: served %d/%d clock %v/%v",
+			a.Served(), b.Served(), a.Clock.Now(), b.Clock.Now())
+	}
+	if b.ServeBatch(nil) != 0 {
+		t.Fatal("empty batch must report 0 mean latency")
+	}
+}
+
+// TestNodePredictZeroAlloc: the Predict half performs no heap allocation —
+// the property the CI alloc gate enforces end to end.
+func TestNodePredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	n, gen := newTestNode(t)
+	s := gen.Next()
+	if allocs := testing.AllocsPerRun(200, func() { n.Predict(s) }); allocs != 0 {
+		t.Fatalf("Node.Predict allocates %v per run, want 0", allocs)
+	}
+}

@@ -129,19 +129,38 @@ func MatMul(a, b *Matrix) *Matrix {
 
 // MatVec returns a × x for a column vector x (len == a.Cols).
 func MatVec(a *Matrix, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	MatVecInto(y, a, x)
+	return y
+}
+
+// MatVecInto computes a × x into dst (len == a.Rows), overwriting dst. It is
+// the allocation-free core of the serving fast path: callers own dst and
+// reuse it across requests. dst must not alias x.
+func MatVecInto(dst []float64, a *Matrix, x []float64) {
 	if len(x) != a.Cols {
 		panic(fmt.Sprintf("tensor: matvec %dx%d × %d", a.Rows, a.Cols, len(x)))
 	}
-	y := make([]float64, a.Rows)
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("tensor: matvec dst len %d != %d rows", len(dst), a.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		s := 0.0
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
+}
+
+// ReLUInPlace clamps negative elements of x to zero in place.
+func ReLUInPlace(x []float64) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
 }
 
 // Dot returns the inner product of x and y.

@@ -91,6 +91,46 @@ func TestMatVec(t *testing.T) {
 	}
 }
 
+func TestMatVecInto(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 0, 2, 0, 3, 0})
+	dst := []float64{99, 99} // stale values must be overwritten, not accumulated
+	MatVecInto(dst, a, []float64{1, 2, 3})
+	if dst[0] != 7 || dst[1] != 6 {
+		t.Fatalf("MatVecInto = %v, want [7 6]", dst)
+	}
+	x := []float64{1, 2, 3}
+	if n := testing.AllocsPerRun(100, func() {
+		MatVecInto(dst, a, x)
+	}); n != 0 {
+		t.Fatalf("MatVecInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestMatVecIntoPanics(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 0, 2, 0, 3, 0})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad x", func() { MatVecInto(make([]float64, 2), a, []float64{1, 2}) })
+	mustPanic("bad dst", func() { MatVecInto(make([]float64, 3), a, []float64{1, 2, 3}) })
+}
+
+func TestReLUInPlace(t *testing.T) {
+	x := []float64{-1, 0, 2.5, -0.001, 7}
+	ReLUInPlace(x)
+	want := []float64{0, 0, 2.5, 0, 7}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("ReLUInPlace = %v, want %v", x, want)
+		}
+	}
+}
+
 func TestAddSubScaleAXPY(t *testing.T) {
 	a := NewMatrixFrom(1, 3, []float64{1, 2, 3})
 	b := NewMatrixFrom(1, 3, []float64{4, 5, 6})

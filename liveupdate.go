@@ -325,6 +325,23 @@ func WithSyncMode(m SyncMode) Option {
 	})
 }
 
+// WithBatchSize attaches a preferred serving batch size to the Server: Drive
+// picks it up when its own DriveConfig carries no batch size, letting the
+// load driver's lane workers coalesce up to n queued same-shard requests
+// into one amortized ServeBatch/ServeShardBatch call (one forward scratch,
+// one lock acquisition for the whole run, zero allocations on the scoring
+// path). Virtual-time statistics are identical to unbatched serving; only
+// wall-clock throughput changes. 0 or 1 means unbatched.
+func WithBatchSize(n int) Option {
+	return optionFunc(func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("liveupdate: WithBatchSize(%d): batch size must be non-negative", n)
+		}
+		c.overrides = append(c.overrides, func(o *core.Options) { o.BatchSize = n })
+		return nil
+	})
+}
+
 // WithChaos attaches a membership-event schedule to the fleet: Drive picks
 // it up automatically when its own DriveConfig carries no schedule, so a
 // server can be constructed "pre-loaded" with the churn it should survive.
@@ -484,6 +501,13 @@ type DriveConfig struct {
 
 	// ChaosEvery is the drain-point cadence in requests (default 64).
 	ChaosEvery int
+
+	// BatchSize lets each driver lane coalesce up to this many queued
+	// same-shard requests into one amortized serve call (the zero-allocation
+	// batched fast path). Coalescing preserves per-shard order, so every
+	// virtual-time statistic matches unbatched driving. 0 falls back to the
+	// batch size attached with WithBatchSize, if any; 1 forces unbatched.
+	BatchSize int
 }
 
 // DriveReport is Drive's result: wall-clock throughput (QPS, Elapsed),
@@ -523,6 +547,13 @@ func DriveContext(ctx context.Context, srv Server, workload *Workload, cfg Drive
 			chaos = p.ChaosSchedule()
 		}
 	}
+	batch := cfg.BatchSize
+	if batch == 0 {
+		// Fall back to the batch size attached at construction (WithBatchSize).
+		if p, ok := srv.(interface{ DefaultBatchSize() int }); ok {
+			batch = p.DefaultBatchSize()
+		}
+	}
 	return driver.Drive(ctx, srv, workload.Next, driver.Config{
 		Requests:      cfg.Requests,
 		Workers:       cfg.Concurrency,
@@ -532,6 +563,7 @@ func DriveContext(ctx context.Context, srv Server, workload *Workload, cfg Drive
 		OnProgress:    cfg.OnProgress,
 		Chaos:         chaos,
 		ChaosEvery:    cfg.ChaosEvery,
+		BatchSize:     batch,
 	})
 }
 
@@ -593,6 +625,9 @@ type ExperimentConfig struct {
 	// ChaosScript overrides the elastic experiment's built-in
 	// kill/replace/scale schedule (ParseChaosScript grammar).
 	ChaosScript string
+	// BatchSize sets the load driver's lane-coalescing batch size for the
+	// fleet-serving experiments (syncpipe, elastic); 0 or 1 drives unbatched.
+	BatchSize int
 }
 
 // RunExperiment regenerates one paper table/figure and returns its printable
@@ -613,6 +648,7 @@ func RunExperimentWith(id string, cfg ExperimentConfig) (string, error) {
 		Quick:    cfg.Quick,
 		SyncMode: string(cfg.SyncMode),
 		Chaos:    cfg.ChaosScript,
+		Batch:    cfg.BatchSize,
 	})
 	if err != nil {
 		return "", err

@@ -284,3 +284,45 @@ func TestElasticServerScaleAndFail(t *testing.T) {
 		t.Fatalf("post-churn stats: members=%d served=%d", st.Members, st.Served)
 	}
 }
+
+// TestWithBatchSize: the construction-attached batch hint surfaces through
+// DefaultBatchSize on both server shapes, Drive picks it up when DriveConfig
+// carries none, and virtual-time stats match an unbatched drive.
+func TestWithBatchSize(t *testing.T) {
+	p := smallProfile(t)
+	if _, err := New(WithProfile(p), WithBatchSize(-1)); err == nil {
+		t.Fatal("negative batch size must be rejected")
+	}
+	run := func(batched bool) Stats {
+		opts := []Option{
+			WithProfile(p), WithSeed(42), WithReplicas(3),
+			WithRouter(HashRouter), WithSyncEvery(2 * time.Second),
+		}
+		if batched {
+			opts = append(opts, WithBatchSize(16))
+		}
+		srv, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := map[bool]int{true: 16, false: 0}[batched]; srv.(*Cluster).DefaultBatchSize() != want {
+			t.Fatalf("DefaultBatchSize = %d, want %d", srv.(*Cluster).DefaultBatchSize(), want)
+		}
+		rep, err := Drive(srv, NewWorkload(p, 42), DriveConfig{Requests: 2000, Concurrency: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched && rep.BatchSize != 16 {
+			t.Fatalf("Drive did not pick up WithBatchSize: effective %d", rep.BatchSize)
+		}
+		if !batched && rep.BatchSize != 1 {
+			t.Fatalf("unbatched drive reports batch size %d", rep.BatchSize)
+		}
+		return rep.Final
+	}
+	a, b := run(false), run(true)
+	if a.Served != b.Served || a.VirtualTime != b.VirtualTime ||
+		a.Violations != b.Violations || a.TrainSteps != b.TrainSteps || a.Syncs != b.Syncs {
+		t.Fatalf("batched vs unbatched virtual stats differ:\n %+v\n %+v", a, b)
+	}
+}
