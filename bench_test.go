@@ -10,6 +10,7 @@ package liveupdate
 // the experiment *outputs* (the virtual-time results) carry the comparison.
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -117,6 +118,40 @@ func BenchmarkServeRequestNoAlloc(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Node.Predict(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkWireServeRequest measures the same end-to-end serving path as
+// BenchmarkServeRequest, but through the network front end: JSON encode, a
+// loopback TCP round trip through the admission gate, serve, JSON decode.
+// The delta against BenchmarkServeRequest is the whole cost of the wire.
+func BenchmarkWireServeRequest(b *testing.B) {
+	p := benchServingProfile()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(WithProfile(p), WithSeed(1), WithListener(ln))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw := srv.(*Gateway)
+	defer gw.Close()
+	remote, err := Dial(ln.Addr().String(), DialConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Close()
+	gen := NewWorkload(p, 2)
+	samples := make([]Sample, 1024)
+	for i := range samples {
+		samples[i] = gen.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.Serve(samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

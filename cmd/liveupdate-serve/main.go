@@ -1,6 +1,8 @@
 // Command liveupdate-serve runs a LiveUpdate serving fleet (one node by
 // default) on a synthetic stream and reports live serving/freshness
-// statistics.
+// statistics. With -listen it instead exposes the fleet over TCP for a
+// second process to drive; with -connect it is that second process, driving
+// a remote fleet through the wire client.
 //
 // Usage:
 //
@@ -9,12 +11,18 @@
 //	liveupdate-serve -replicas 4 -concurrency 8          # parallel load driver
 //	liveupdate-serve -replicas 4 -sync-mode barrier      # legacy stop-the-world syncs
 //	liveupdate-serve -replicas 4 -chaos "@2s kill 1; @4s replace 1; @6s scale 6"
+//
+//	liveupdate-serve -replicas 4 -listen :7070 -queue-depth 32   # process 1: serve the wire
+//	liveupdate-serve -connect localhost:7070 -conns 8 -batch 8   # process 2: drive it
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"liveupdate"
@@ -45,12 +53,34 @@ func main() {
 		"serving batch size: driver lanes coalesce up to this many queued same-shard requests into one zero-allocation batched serve call (virtual-time stats are identical to -batch 1)")
 	chaosScript := flag.String("chaos", "",
 		"membership-event schedule applied at virtual timestamps while serving, e.g. \"@2s kill 1; @4s replace 1; @6s scale 6\" (actions: kill/replace/leave <slot>, join, scale <n>; needs -replicas > 1)")
+	listen := flag.String("listen", "",
+		"server mode: expose the fleet on this TCP address (e.g. :7070) instead of driving it locally; serves until SIGINT/SIGTERM, then prints final statistics")
+	connect := flag.String("connect", "",
+		"client mode: drive a remote fleet at this address through the wire client instead of building one locally")
+	conns := flag.Int("conns", 4, "client mode: parallel wire connections (client-side driver lanes)")
+	maxConns := flag.Int("max-conns", 0,
+		"server mode: max simultaneously accepted TCP connections (0 = default 256)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"server mode: max wire requests served concurrently (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0,
+		"server mode: admission queue depth; arrivals past it are shed with 429 (0 = default 64)")
+	slaBudget := flag.Duration("sla-budget", 0,
+		"server mode: shed arrivals whose predicted queueing delay exceeds this budget (0 = disabled)")
 	flag.Parse()
 
 	// Validate flags up front so bad values produce an error, not a panic
 	// (e.g. -report used to divide by zero).
 	if *requests <= 0 {
 		fatalf("-requests must be positive, got %d", *requests)
+	}
+	if *listen != "" && *connect != "" {
+		fatalf("-listen and -connect are mutually exclusive: a process is either the server or the client")
+	}
+	if (*listen != "" || *connect != "") && *chaosScript != "" {
+		fatalf("-chaos drives membership at deterministic virtual-time drain points; the wire path is wall-clock and cannot honor them")
+	}
+	if *connect != "" && *conns < 1 {
+		fatalf("-conns must be >= 1, got %d", *conns)
 	}
 	if *report < 0 {
 		fatalf("-report must be non-negative, got %d", *report)
@@ -79,6 +109,19 @@ func main() {
 		}
 	}
 
+	if *connect != "" {
+		runClient(*connect, clientConfig{
+			conns:       *conns,
+			requests:    *requests,
+			report:      *report,
+			seed:        *seed,
+			concurrency: *concurrency,
+			batch:       *batch,
+			profile:     *profileName,
+		})
+		return
+	}
+
 	profile, err := liveupdate.ProfileByName(*profileName)
 	if err != nil {
 		fatalf("%v", err)
@@ -96,6 +139,29 @@ func main() {
 	if len(chaos) > 0 {
 		opts = append(opts, liveupdate.WithChaos(chaos))
 	}
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts = append(opts,
+			liveupdate.WithListener(ln),
+			liveupdate.WithAdmission(liveupdate.AdmissionConfig{
+				MaxConns:    *maxConns,
+				MaxInflight: *maxInflight,
+				QueueDepth:  *queueDepth,
+				SLABudget:   *slaBudget,
+			}))
+		srv, err := liveupdate.New(opts...)
+		if err != nil {
+			ln.Close()
+			fatalf("%v", err)
+		}
+		runServer(srv.(*liveupdate.Gateway), *replicas)
+		return
+	}
+
 	srv, err := liveupdate.New(opts...)
 	if err != nil {
 		fatalf("%v", err)
@@ -176,5 +242,120 @@ func main() {
 			fmt.Printf("fleet membership: %d active, %d joins, %d leaves, %d fails; catch-up %d bytes in %.4f virtual s\n",
 				st.Members, st.Joins, st.Leaves, st.Fails, st.CatchUpBytes, st.CatchUpSeconds)
 		}
+	}
+}
+
+// runServer is -listen mode: the gateway is already accepting; hold the
+// process open until SIGINT/SIGTERM, then print the final statistics —
+// including the wire admission ledger — and shut down gracefully.
+func runServer(gw *liveupdate.Gateway, replicas int) {
+	fmt.Printf("liveupdate-serve %s: listening on %s (replicas=%d)\n",
+		liveupdate.Version, gw.Addr(), replicas)
+	fmt.Println("drive me from another process: liveupdate-serve -connect", gw.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+
+	st := gw.Stats()
+	fmt.Printf("\nfinal: served=%d P99=%.3fms violations=%.4f trainSteps=%d virtTime=%.2fs\n",
+		st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps, st.VirtualTime)
+	printWireTable(st.Wire)
+	if err := gw.Close(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+}
+
+// clientConfig carries the -connect mode knobs.
+type clientConfig struct {
+	conns       int
+	requests    int
+	report      int
+	seed        uint64
+	concurrency int
+	batch       int
+	profile     string // fallback when the server's handshake has no profile
+}
+
+// runClient is -connect mode: dial the remote gateway (retrying briefly so a
+// just-started server wins the race), synthesize the workload the server
+// advertises, and pump it through the wire with the same concurrent driver
+// used in-process.
+func runClient(addr string, cfg clientConfig) {
+	var remote *liveupdate.RemoteServer
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		remote, err = liveupdate.Dial(addr, liveupdate.DialConfig{Conns: cfg.conns})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("dial %s: %v", addr, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	defer remote.Close()
+
+	profileName := remote.Info().Profile
+	if profileName == "" {
+		profileName = cfg.profile
+	}
+	profile, err := liveupdate.ProfileByName(profileName)
+	if err != nil {
+		fatalf("resolving remote profile: %v", err)
+	}
+	gen := liveupdate.NewWorkload(profile, cfg.seed^0x5e)
+
+	fmt.Printf("liveupdate-serve %s: driving %s (profile=%s server-replicas=%d) with %d conns, %d workers, batch %d\n",
+		liveupdate.Version, addr, profile.Name, remote.Info().Replicas, cfg.conns, cfg.concurrency, cfg.batch)
+
+	rep, err := liveupdate.Drive(remote, gen, liveupdate.DriveConfig{
+		Requests:      cfg.requests,
+		Concurrency:   cfg.concurrency,
+		BatchSize:     cfg.batch,
+		Seed:          cfg.seed,
+		ProgressEvery: cfg.report,
+		OnProgress: func(served uint64) {
+			fmt.Printf("  %d/%d served, %d sheds absorbed\n", served, cfg.requests, remote.Shed429())
+		},
+	})
+	if err != nil {
+		fatalf("drive: %v", err)
+	}
+
+	fmt.Printf("\ndrive: %d workers over %d wire lane(s): %d req in %v wall (%.0f req/s wall)\n",
+		rep.Workers, rep.Shards, rep.Served, rep.Elapsed.Round(time.Millisecond), rep.QPS)
+	if rep.BatchSize > 1 && rep.Batches > 0 {
+		fmt.Printf("batching: cap %d, %d wire calls, %.2f req/call mean\n",
+			rep.BatchSize, rep.Batches, float64(rep.Served)/float64(rep.Batches))
+	}
+	st, err := remote.FetchStats()
+	if err != nil {
+		fatalf("fetching final stats: %v", err)
+	}
+	fmt.Printf("server: served=%d P99=%.3fms violations=%.4f trainSteps=%d virtTime=%.2fs\n",
+		st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps, st.VirtualTime)
+	printWireTable(st.Wire)
+
+	var accepted, shed uint64
+	for _, ep := range st.Wire {
+		accepted += ep.Accepted
+		shed += ep.Shed
+	}
+	// One greppable line for scripts (CI asserts on it): totals across
+	// endpoints, plus the client's view of the sheds it retried through.
+	fmt.Printf("wire-total: accepted=%d shed=%d client-retries=%d retry-wait=%s\n",
+		accepted, shed, remote.Shed429(), remote.RetryWait().Round(time.Millisecond))
+}
+
+// printWireTable renders the per-endpoint admission ledger.
+func printWireTable(eps []liveupdate.EndpointStats) {
+	if len(eps) == 0 {
+		return
+	}
+	fmt.Printf("wire admission:\n  %-12s %-10s %-8s %-9s %-7s\n", "endpoint", "accepted", "shed", "inflight", "queued")
+	for _, ep := range eps {
+		fmt.Printf("  %-12s %-10d %-8d %-9d %-7d\n", ep.Endpoint, ep.Accepted, ep.Shed, ep.Inflight, ep.Queued)
 	}
 }

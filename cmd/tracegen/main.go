@@ -16,6 +16,14 @@ import (
 	"liveupdate"
 )
 
+// usagef reports a flag-validation error the conventional way: the message,
+// then usage, then exit code 2 (the flag package's own bad-flag exit code).
+func usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	profileName := flag.String("profile", "criteo", "dataset profile")
 	n := flag.Int("n", 1000, "samples to generate")
@@ -23,10 +31,18 @@ func main() {
 	windowSec := flag.Float64("window", 300, "virtual seconds spanned by the trace")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		usagef("unexpected arguments %q (output goes to stdout; redirect it)", flag.Args())
+	}
+	if *n <= 0 {
+		usagef("-n must be positive, got %d", *n)
+	}
+	if *windowSec < 0 || *windowSec != *windowSec {
+		usagef("-window must be a non-negative number of virtual seconds, got %v", *windowSec)
+	}
 	profile, err := liveupdate.ProfileByName(*profileName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		usagef("%v", err)
 	}
 	gen := liveupdate.NewWorkload(profile, *seed)
 	w := bufio.NewWriter(os.Stdout)

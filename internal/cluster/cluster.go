@@ -485,6 +485,49 @@ func (c *Cluster) ServeShardBatch(shard int, samples []trace.Sample, resps []cor
 	return nil
 }
 
+// ServeBatch routes each sample through the cluster's own router and serves
+// maximal consecutive same-replica runs via ServeShardBatch — the amortized
+// path for callers that hold a pre-formed mixed batch (the wire front end's
+// binary endpoint) rather than pre-routed lanes. Routing happens in sample
+// order through ShardOf, so stateless (hash) and cursor-stateful
+// (round-robin) routers assign exactly the replicas a loop over Serve would,
+// and aggregate virtual-time statistics match sequential serving either way.
+// Two deliberate batch-semantics deviations: a load-aware router
+// (least-loaded) sees the backlog as of batch arrival rather than after
+// every serve — the requests DID arrive together — and a sync epoch crossed
+// mid-run is picked up at the run boundary (same epochs fire, so sync counts
+// are unchanged; scores immediately after an epoch may differ in the last
+// decimals). resps must have the same length as samples and is filled in
+// order.
+func (c *Cluster) ServeBatch(samples []trace.Sample, resps []core.Response) error {
+	if len(resps) != len(samples) {
+		return fmt.Errorf("cluster: ServeBatch got %d response slots for %d samples", len(resps), len(samples))
+	}
+	// Route every sample exactly once, up front: stateful routers
+	// (round-robin) advance their cursor per ShardOf call, so probing a
+	// sample's shard twice would skew routing relative to sequential Serve.
+	shards := make([]int, len(samples))
+	for i := range samples {
+		shards[i] = c.ShardOf(samples[i])
+	}
+	for start := 0; start < len(samples); {
+		end := start + 1
+		for end < len(samples) && shards[end] == shards[start] {
+			end++
+		}
+		if err := c.ServeShardBatch(shards[start], samples[start:end], resps[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// Profile returns the dataset profile the fleet serves (every replica shares
+// it). The wire front end advertises it to remote load generators so they
+// synthesize samples with the matching feature shape.
+func (c *Cluster) Profile() trace.Profile { return c.cfg.Base.Profile }
+
 // epochOf returns the SyncEvery epoch the fleet clock is currently in.
 func (c *Cluster) epochOf(d float64) int64 {
 	return int64(math.Floor(c.fleetClock() / d))

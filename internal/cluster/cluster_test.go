@@ -885,3 +885,105 @@ func TestServeShardBatchRedirectAndErrors(t *testing.T) {
 		t.Fatalf("served %d, want 2", got)
 	}
 }
+
+// TestServeBatchMatchesSequential drives two identical clusters through the
+// same trace — one sample-by-sample, one via ServeBatch — and pins the
+// documented contract. The subtle hazard is routing: stateful routers
+// (round-robin) advance a cursor per ShardOf call, so ServeBatch must route
+// each sample exactly once; for hash and round-robin that reproduces the
+// sequential replica assignment and latency exactly. Scores may differ in
+// the last decimals around a sync epoch (the batch path picks crossed
+// epochs up at run boundaries), and a load-aware router legitimately routes
+// on batch-arrival backlog, so those are checked only as far as the
+// contract promises.
+func TestServeBatchMatchesSequential(t *testing.T) {
+	for _, policy := range Policies() {
+		t.Run(string(policy), func(t *testing.T) {
+			build := func() *Cluster {
+				cfg := testConfig(t, 3)
+				r, err := NewRouter(policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Router = r
+				cfg.SyncEvery = 500 * time.Millisecond
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			seq, bat := build(), build()
+
+			gen, err := trace.NewGenerator(testProfile(t), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const total, chunk = 240, 16
+			samples := make([]trace.Sample, total)
+			for i := range samples {
+				samples[i] = gen.Next()
+			}
+
+			want := make([]core.Response, total)
+			for i, s := range samples {
+				if want[i], err = seq.Serve(s); err != nil {
+					t.Fatalf("sequential serve %d: %v", i, err)
+				}
+			}
+			got := make([]core.Response, total)
+			for start := 0; start < total; start += chunk {
+				end := start + chunk
+				if err := bat.ServeBatch(samples[start:end], got[start:end]); err != nil {
+					t.Fatalf("ServeBatch[%d:%d]: %v", start, end, err)
+				}
+			}
+
+			deterministic := policy == RoundRobin || policy == Hash
+			for i := range want {
+				if deterministic {
+					if want[i].Replica != got[i].Replica || want[i].Latency != got[i].Latency {
+						t.Fatalf("%s: response %d diverged: sequential %+v, batched %+v",
+							policy, i, want[i], got[i])
+					}
+					if d := want[i].Prob - got[i].Prob; d > 1e-2 || d < -1e-2 {
+						t.Fatalf("%s: response %d score diverged beyond sync-boundary noise: %v vs %v",
+							policy, i, want[i].Prob, got[i].Prob)
+					}
+				} else if got[i].Latency <= 0 {
+					t.Fatalf("%s: response %d not served: %+v", policy, i, got[i])
+				}
+			}
+			ss, bs := seq.Stats(), bat.Stats()
+			if ss.Served != bs.Served {
+				t.Fatalf("%s: Served diverged: %d vs %d", policy, ss.Served, bs.Served)
+			}
+			if deterministic && (ss.P99 != bs.P99 || ss.VirtualTime != bs.VirtualTime ||
+				ss.TrainSteps != bs.TrainSteps || ss.Syncs != bs.Syncs) {
+				t.Fatalf("%s: stats diverged:\nsequential: served=%d P99=%v virt=%v train=%d syncs=%d\nbatched:    served=%d P99=%v virt=%v train=%d syncs=%d",
+					policy, ss.Served, ss.P99, ss.VirtualTime, ss.TrainSteps, ss.Syncs,
+					bs.Served, bs.P99, bs.VirtualTime, bs.TrainSteps, bs.Syncs)
+			}
+		})
+	}
+}
+
+// TestServeBatchValidatesSlots covers the length-mismatch guard.
+func TestServeBatchValidatesSlots(t *testing.T) {
+	cfg := testConfig(t, 2)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(testProfile(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []trace.Sample{gen.Next(), gen.Next()}
+	if err := c.ServeBatch(samples, make([]core.Response, 1)); err == nil {
+		t.Fatal("mismatched response slot count must be rejected")
+	}
+	if err := c.ServeBatch(nil, nil); err != nil {
+		t.Fatalf("empty batch must be a no-op, got %v", err)
+	}
+}

@@ -260,6 +260,26 @@ type Stats struct {
 	// runs with and without churn.
 	CatchUpBytes   int64
 	CatchUpSeconds float64
+
+	// Wire front-end fields, populated only when the Server is exposed over
+	// a listener by internal/netserve: per-endpoint admission outcomes, in
+	// endpoint order. Empty for a purely in-process Server. Unlike every
+	// field above, these count wall-clock wire traffic — they are not part
+	// of the virtual-time determinism contract.
+	Wire []EndpointStats
+}
+
+// EndpointStats is one wire endpoint's admission ledger: how many HTTP
+// requests it accepted into the serving path, how many it shed with 429
+// (admission queue full or SLA budget exhausted), and the live occupancy
+// gauges at snapshot time. A batched wire request counts once regardless of
+// how many samples it carries.
+type EndpointStats struct {
+	Endpoint string // request path ("/serve", "/serve.bin")
+	Accepted uint64 // wire requests admitted and served
+	Shed     uint64 // wire requests rejected with 429 + Retry-After
+	Inflight int    // wire requests being served right now
+	Queued   int    // wire requests waiting in the admission queue
 }
 
 // Serve processes one request through the serving path, interleaving
@@ -391,6 +411,11 @@ func (s *System) LatencyWindow() []float64 {
 // (0 = unbatched). The load driver uses it when its own configuration does
 // not set a batch size.
 func (s *System) DefaultBatchSize() int { return s.Opts.BatchSize }
+
+// Profile returns the dataset profile this node serves. The wire front end
+// advertises it to remote load generators so they synthesize samples with
+// the matching feature shape.
+func (s *System) Profile() trace.Profile { return s.Opts.Profile }
 
 // LoRARank returns the node's current adapter rank (table 0).
 func (s *System) LoRARank() int {

@@ -108,6 +108,7 @@ func Registry() map[string]Runner {
 		// Beyond the paper: serving-stack experiments.
 		"syncpipe": Syncpipe,
 		"elastic":  Elastic,
+		"wire":     Wire,
 	}
 }
 
@@ -116,10 +117,11 @@ func IDs() []string {
 	return []string{
 		"table2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig14", "table3", "fig15", "fig16",
-		"fig17", "fig18", "fig19", "syncpipe", "elastic",
+		"fig17", "fig18", "fig19", "syncpipe", "elastic", "wire",
 	}
 }
 
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }

@@ -77,3 +77,38 @@ func TestEventString(t *testing.T) {
 		t.Fatalf("round trip failed: %v %v", s, err)
 	}
 }
+
+// TestScheduleStringRoundTrips verifies String() emits the script grammar
+// ParseScript accepts: parse → String → parse must reproduce the schedule
+// exactly, for every action and for sub-second and zero timestamps.
+func TestScheduleStringRoundTrips(t *testing.T) {
+	scripts := []string{
+		"@2s kill 1; @4s replace 1; @6s scale 6",
+		"@500ms join; @1.5s leave 0",
+		"@0s join",
+		"@1m30s kill 0; @2h scale 2",
+	}
+	for _, src := range scripts {
+		first, err := ParseScript(src)
+		if err != nil {
+			t.Fatalf("ParseScript(%q): %v", src, err)
+		}
+		rendered := first.String()
+		second, err := ParseScript(rendered)
+		if err != nil {
+			t.Fatalf("String() of %q produced unparseable %q: %v", src, rendered, err)
+		}
+		if len(second) != len(first) {
+			t.Fatalf("round trip of %q: %d events became %d", src, len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("round trip of %q: event %d %+v became %+v", src, i, first[i], second[i])
+			}
+		}
+		// A stable fixed point: rendering again must be byte-identical.
+		if again := second.String(); again != rendered {
+			t.Fatalf("String not a fixed point: %q then %q", rendered, again)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package netclient drives a remote netserve gateway over TCP. A Client
+// implements the same serving interfaces the in-process stack does —
+// Serve/Stats, plus the sharded and batched driver surfaces — so the
+// concurrent load driver (and with it the public liveupdate.Drive, batching
+// included) works unchanged against a fleet in another process.
+//
+// Client-side shards are lanes: the client owns Conns independent HTTP
+// connections, ShardOf hashes a sample's sparse ids to a lane, and the
+// driver's per-shard FIFO queues become per-connection pipelines. Server-side
+// routing still happens on the server — a lane is a transport, not a
+// replica — so lane count tunes client parallelism without changing where
+// requests land.
+//
+// Shed handling: a 429 from the gateway is not an error but back-pressure.
+// The client sleeps out the server's Retry-After hint (millisecond-granular
+// via X-Retry-After-Ms, capped at MaxRetryWait) and retries, up to Retries
+// attempts, counting every shed it absorbed in Shed429.
+package netclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/netserve"
+	"liveupdate/internal/trace"
+)
+
+// Config configures Dial.
+type Config struct {
+	// Conns is the number of client lanes (independent HTTP connections and
+	// driver shards). 0 defaults to 1.
+	Conns int
+
+	// Timeout bounds each HTTP attempt. 0 defaults to 30s.
+	Timeout time.Duration
+
+	// Retries is the number of times one request retries after a 429 before
+	// giving up. 0 defaults to 64; negative is invalid.
+	Retries int
+
+	// MaxRetryWait caps how long a single Retry-After back-off sleeps.
+	// 0 defaults to 250ms.
+	MaxRetryWait time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	switch {
+	case c.Conns < 0:
+		return c, fmt.Errorf("netclient: Conns must be non-negative, got %d", c.Conns)
+	case c.Timeout < 0:
+		return c, fmt.Errorf("netclient: Timeout must be non-negative, got %v", c.Timeout)
+	case c.Retries < 0:
+		return c, fmt.Errorf("netclient: Retries must be non-negative, got %d", c.Retries)
+	case c.MaxRetryWait < 0:
+		return c, fmt.Errorf("netclient: MaxRetryWait must be non-negative, got %v", c.MaxRetryWait)
+	}
+	if c.Conns == 0 {
+		c.Conns = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 64
+	}
+	if c.MaxRetryWait == 0 {
+		c.MaxRetryWait = 250 * time.Millisecond
+	}
+	return c, nil
+}
+
+// Client is a remote Server. Use one lane (shard) from one goroutine at a
+// time — exactly the discipline the load driver's lane ownership provides;
+// Stats and Serve are safe for concurrent use.
+type Client struct {
+	base  string // "http://host:port"
+	cfg   Config
+	info  netserve.Info
+	lanes []*http.Client
+
+	shed429   atomic.Uint64         // 429 responses absorbed (then retried)
+	retryWait atomic.Int64          // cumulative back-off, nanoseconds
+	statsErr  atomic.Pointer[error] // most recent Stats() transport failure
+}
+
+// Dial connects to a netserve gateway, performs the /info handshake, and
+// returns a Client with cfg.Conns lanes.
+func Dial(addr string, cfg Config) (*Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	c := &Client{base: base, cfg: cfg}
+	for i := 0; i < cfg.Conns; i++ {
+		// One Transport per lane: lanes must not share pooled connections,
+		// or slow requests on one lane would head-of-line block another.
+		c.lanes = append(c.lanes, &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        2,
+				MaxIdleConnsPerHost: 2,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		})
+	}
+	resp, err := c.lanes[0].Get(base + "/info")
+	if err != nil {
+		return nil, fmt.Errorf("netclient: handshake: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("netclient: handshake: server returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&c.info); err != nil {
+		return nil, fmt.Errorf("netclient: handshake: decoding /info: %w", err)
+	}
+	if c.info.Protocol != 1 {
+		return nil, fmt.Errorf("netclient: server speaks wire protocol %d, client speaks 1", c.info.Protocol)
+	}
+	return c, nil
+}
+
+// Info returns the server's handshake payload (profile name, server-side
+// replica count, batch hint).
+func (c *Client) Info() netserve.Info { return c.info }
+
+// Shed429 returns how many 429 shed responses this client absorbed and
+// retried — the client-side mirror of the server's shed counters.
+func (c *Client) Shed429() uint64 { return c.shed429.Load() }
+
+// RetryWait returns the cumulative time spent sleeping out Retry-After
+// back-off hints.
+func (c *Client) RetryWait() time.Duration { return time.Duration(c.retryWait.Load()) }
+
+// Close releases idle connections on every lane.
+func (c *Client) Close() {
+	for _, l := range c.lanes {
+		l.CloseIdleConnections()
+	}
+}
+
+// NumShards returns the client lane count: the driver treats each lane as an
+// independently drivable shard.
+func (c *Client) NumShards() int { return len(c.lanes) }
+
+// ShardOf hashes a sample's sparse ids to a lane — deterministic for a fixed
+// lane count, so the sequencer's routing never depends on timing. Samples
+// with the same sparse signature ride the same connection, which keeps the
+// driver's batch coalescing effective over the wire.
+func (c *Client) ShardOf(s trace.Sample) int {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, ids := range s.Sparse {
+		for _, id := range ids {
+			buf[0] = byte(id)
+			buf[1] = byte(id >> 8)
+			buf[2] = byte(id >> 16)
+			buf[3] = byte(id >> 24)
+			h.Write(buf[:])
+		}
+	}
+	return int(h.Sum64() % uint64(len(c.lanes)))
+}
+
+// Serve scores one sample through the JSON endpoint on its hashed lane.
+func (c *Client) Serve(s trace.Sample) (core.Response, error) {
+	return c.ServeShard(c.ShardOf(s), s)
+}
+
+// ServeShard scores one sample on a specific lane via POST /serve (JSON).
+func (c *Client) ServeShard(shard int, s trace.Sample) (core.Response, error) {
+	body, err := json.Marshal(s)
+	if err != nil {
+		return core.Response{}, fmt.Errorf("netclient: encoding sample: %w", err)
+	}
+	data, err := c.post(shard, "/serve", "application/json", body)
+	if err != nil {
+		return core.Response{}, err
+	}
+	var resp core.Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return core.Response{}, fmt.Errorf("netclient: decoding response: %w", err)
+	}
+	return resp, nil
+}
+
+// ServeShardBatch scores a coalesced run of samples on one lane via the
+// binary POST /serve.bin fast path. resps must have the same length as
+// samples and is filled in order.
+func (c *Client) ServeShardBatch(shard int, samples []trace.Sample, resps []core.Response) error {
+	if len(resps) != len(samples) {
+		return fmt.Errorf("netclient: ServeShardBatch got %d response slots for %d samples", len(resps), len(samples))
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	data, err := c.post(shard, "/serve.bin", "application/octet-stream",
+		netserve.AppendBatch(make([]byte, 0, 64*len(samples)), samples))
+	if err != nil {
+		return err
+	}
+	decoded, err := netserve.DecodeResponses(data)
+	if err != nil {
+		return err
+	}
+	if len(decoded) != len(samples) {
+		return fmt.Errorf("netclient: server returned %d responses for %d samples", len(decoded), len(samples))
+	}
+	copy(resps, decoded)
+	return nil
+}
+
+// Stats fetches the server's statistics snapshot (wire admission ledger
+// included). The Server interface has no error return, so a transport
+// failure here yields a zero snapshot; LastStatsErr reports it.
+func (c *Client) Stats() core.Stats {
+	st, err := c.FetchStats()
+	if err != nil {
+		c.statsErr.Store(&err)
+		return core.Stats{}
+	}
+	c.statsErr.Store(nil)
+	return st
+}
+
+// FetchStats is Stats with the error: a GET /stats round trip.
+func (c *Client) FetchStats() (core.Stats, error) {
+	resp, err := c.lanes[0].Get(c.base + "/stats")
+	if err != nil {
+		return core.Stats{}, fmt.Errorf("netclient: fetching stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return core.Stats{}, fmt.Errorf("netclient: /stats returned %s", resp.Status)
+	}
+	var st core.Stats
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<24)).Decode(&st); err != nil {
+		return core.Stats{}, fmt.Errorf("netclient: decoding stats: %w", err)
+	}
+	return netserve.RestoreStats(st), nil
+}
+
+// LastStatsErr returns the error of the most recent failed Stats() call, or
+// nil if none failed since the last success.
+func (c *Client) LastStatsErr() error {
+	if p := c.statsErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// post runs one request on a lane, absorbing 429 shed responses with
+// Retry-After back-off up to the retry budget. Non-2xx other than 429 is an
+// error carrying the server's JSON error body.
+func (c *Client) post(shard int, path, contentType string, body []byte) ([]byte, error) {
+	if shard < 0 || shard >= len(c.lanes) {
+		return nil, fmt.Errorf("netclient: lane %d of %d", shard, len(c.lanes))
+	}
+	lane := c.lanes[shard]
+	url := c.base + path
+	for attempt := 0; ; attempt++ {
+		resp, err := lane.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("netclient: %s: %w", path, err)
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("netclient: %s: reading response: %w", path, err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return data, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			c.shed429.Add(1)
+			if attempt >= c.cfg.Retries {
+				return nil, fmt.Errorf("netclient: %s: still shed after %d retries (server overloaded)", path, attempt)
+			}
+			wait := retryAfter(resp.Header)
+			if wait > c.cfg.MaxRetryWait {
+				wait = c.cfg.MaxRetryWait
+			}
+			c.retryWait.Add(int64(wait))
+			time.Sleep(wait)
+		default:
+			return nil, fmt.Errorf("netclient: %s: server returned %s: %s",
+				path, resp.Status, strings.TrimSpace(string(data)))
+		}
+	}
+}
+
+// retryAfter extracts the back-off hint: the millisecond header when
+// present, the standard whole-second header otherwise, 1ms as a floor.
+func retryAfter(h http.Header) time.Duration {
+	if ms := h.Get("X-Retry-After-Ms"); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			return time.Duration(v) * time.Millisecond
+		}
+	}
+	if s := h.Get("Retry-After"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return time.Duration(v) * time.Second
+		}
+	}
+	return time.Millisecond
+}

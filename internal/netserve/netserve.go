@@ -1,0 +1,313 @@
+// Package netserve is the optional network front end: it exposes any serving
+// Server (a single System or a replica Cluster) over a real TCP listener as
+// HTTP/1.1 — JSON for single requests, a length-prefixed binary batch fast
+// path — with connection limits, a bounded FIFO admission queue, and
+// SLA-budget-aware load shedding (429 + Retry-After when the queue or the
+// latency budget is exhausted).
+//
+// The in-process virtual-time mode remains the deterministic test harness;
+// the wire path is where wall-clock QPS numbers become honest. Virtual-time
+// statistics are still computed server-side and keep their meaning, but
+// request arrival order over concurrent connections is wall-clock real, so
+// the worker-count invariance contract applies to in-process driving only.
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/trace"
+)
+
+// Server is the serving surface the gateway fronts; both *core.System and
+// *cluster.Cluster implement it (structurally identical to the internal
+// driver's Server interface).
+type Server interface {
+	Serve(trace.Sample) (core.Response, error)
+	Stats() core.Stats
+}
+
+// batchServer is the amortized mixed-batch path (System.ServeBatch,
+// Cluster.ServeBatch); the binary endpoint uses it when available.
+type batchServer interface {
+	ServeBatch([]trace.Sample, []core.Response) error
+}
+
+// epMetrics is one endpoint's admission ledger (lock-free counters + gauges).
+type epMetrics struct {
+	accepted atomic.Uint64
+	shed     atomic.Uint64
+	inflight atomic.Int64
+	queued   atomic.Int64
+}
+
+// Gateway serves an inner Server over a listener. Construct with New; close
+// with Close. A Gateway also implements Server itself — its Serve/Stats
+// delegate in-process (bypassing admission control, which exists to protect
+// the wire), with Stats folding the wire admission ledger into the snapshot.
+type Gateway struct {
+	inner Server
+	batch batchServer // nil when inner has no batch path
+	cfg   Config
+	gate  *gate
+	ln    net.Listener
+	hs    *http.Server
+
+	eps map[string]*epMetrics // keyed by endpoint path
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{} // closed when the accept loop exits
+}
+
+// New starts a gateway serving inner on ln. The listener is consumed: the
+// gateway owns it and closes it on Close. cfg zero values take the package
+// defaults (see Config).
+func New(inner Server, ln net.Listener, cfg Config) (*Gateway, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("netserve: nil server")
+	}
+	if ln == nil {
+		return nil, fmt.Errorf("netserve: nil listener")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		inner: inner,
+		cfg:   cfg,
+		gate:  newGate(cfg),
+		ln:    ln,
+		done:  make(chan struct{}),
+		eps: map[string]*epMetrics{
+			"/serve":     {},
+			"/serve.bin": {},
+		},
+	}
+	g.batch, _ = inner.(batchServer)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /serve", g.handleServe)
+	mux.HandleFunc("POST /serve.bin", g.handleServeBin)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.HandleFunc("GET /info", g.handleInfo)
+	g.hs = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		defer close(g.done)
+		// ErrServerClosed is the normal shutdown path; anything else would
+		// surface on Close.
+		if err := g.hs.Serve(newLimitListener(ln, cfg.MaxConns)); !errors.Is(err, http.ErrServerClosed) {
+			g.closeErr = err
+		}
+	}()
+	return g, nil
+}
+
+// Addr returns the listener's address (useful with ":0" listeners).
+func (g *Gateway) Addr() net.Addr { return g.ln.Addr() }
+
+// Close gracefully shuts the gateway down: in-flight requests get a grace
+// period to finish, then the listener closes. Idempotent.
+func (g *Gateway) Close() error {
+	g.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := g.hs.Shutdown(ctx); err != nil && g.closeErr == nil {
+			g.closeErr = err
+		}
+		<-g.done
+	})
+	return g.closeErr
+}
+
+// Serve delegates to the inner server in-process. The admission gate is not
+// consulted: it protects the wire from remote overload, while an in-process
+// caller is already inside the trust and back-pressure domain.
+func (g *Gateway) Serve(s trace.Sample) (core.Response, error) { return g.inner.Serve(s) }
+
+// Stats snapshots the inner server and folds in the wire admission ledger.
+func (g *Gateway) Stats() core.Stats {
+	st := g.inner.Stats()
+	st.Wire = g.WireStats()
+	return st
+}
+
+// WireStats returns the per-endpoint admission ledger, sorted by endpoint.
+func (g *Gateway) WireStats() []core.EndpointStats {
+	out := make([]core.EndpointStats, 0, len(g.eps))
+	for path, m := range g.eps {
+		out = append(out, core.EndpointStats{
+			Endpoint: path,
+			Accepted: m.accepted.Load(),
+			Shed:     m.shed.Load(),
+			Inflight: int(m.inflight.Load()),
+			Queued:   int(m.queued.Load()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// admit runs the admission gate for one wire request on an endpoint. It
+// returns false after writing the 429 when the request is shed; on true the
+// caller MUST call the returned release func when serving finishes.
+func (g *Gateway) admit(w http.ResponseWriter, ep *epMetrics) (release func(), ok bool) {
+	retry, reason := g.gate.enter(
+		func() { ep.queued.Add(1) },
+		func() { ep.queued.Add(-1) },
+	)
+	if reason != "" {
+		ep.shed.Add(1)
+		// Retry-After is whole seconds by spec (floored at 1); the
+		// millisecond header carries the real estimate for clients that can
+		// use it.
+		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(int64((retry+time.Millisecond-1)/time.Millisecond), 10))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"error":"overloaded","reason":%q}`+"\n", reason)
+		return nil, false
+	}
+	ep.accepted.Add(1)
+	ep.inflight.Add(1)
+	start := time.Now()
+	return func() {
+		ep.inflight.Add(-1)
+		g.gate.leave(time.Since(start))
+	}, true
+}
+
+// handleServe is the JSON single-request endpoint.
+func (g *Gateway) handleServe(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxJSONBody)
+	if !ok {
+		return
+	}
+	var sample trace.Sample
+	if err := json.Unmarshal(body, &sample); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("netserve: bad sample JSON: %w", err))
+		return
+	}
+	if err := ValidateSample(sample); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ep := g.eps["/serve"]
+	release, ok := g.admit(w, ep)
+	if !ok {
+		return
+	}
+	resp, err := g.inner.Serve(sample)
+	release()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleServeBin is the binary batch endpoint. One wire request carries a
+// whole batch and rides one admission ticket: the queue bounds wire
+// requests, and a remote lane's coalesced batch is one unit of work.
+func (g *Gateway) handleServeBin(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxBinaryBody)
+	if !ok {
+		return
+	}
+	samples, err := DecodeBatch(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ep := g.eps["/serve.bin"]
+	release, ok := g.admit(w, ep)
+	if !ok {
+		return
+	}
+	resps := make([]core.Response, len(samples))
+	if g.batch != nil {
+		err = g.batch.ServeBatch(samples, resps)
+	} else {
+		for i := range samples {
+			if resps[i], err = g.inner.Serve(samples[i]); err != nil {
+				break
+			}
+		}
+	}
+	release()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(AppendResponses(make([]byte, 0, 4+4+20*len(resps)), resps)); err != nil {
+		// Client went away mid-response; nothing useful left to do.
+		return
+	}
+}
+
+// handleStats returns the merged Stats snapshot (wire ledger included), with
+// NaN quantiles mapped to the wire sentinel.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, SanitizeStats(g.Stats()))
+}
+
+// handleInfo returns the handshake payload.
+func (g *Gateway) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info := Info{Protocol: protocolVersion, Replicas: 1}
+	if p, ok := g.inner.(interface{ Profile() trace.Profile }); ok {
+		info.Profile = strings.ToLower(p.Profile().Name)
+	}
+	if s, ok := g.inner.(interface{ NumShards() int }); ok {
+		info.Replicas = s.NumShards()
+	}
+	if b, ok := g.inner.(interface{ DefaultBatchSize() int }); ok {
+		info.BatchHint = b.DefaultBatchSize()
+	}
+	writeJSON(w, info)
+}
+
+// readBody reads a request body bounded at cap bytes, translating the
+// over-limit error to 413 before any decoding work happens.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("netserve: request body exceeds %d bytes", limit))
+		} else {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("netserve: reading body: %w", err))
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // a client that vanished mid-write is not our error
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, `{"error":%q}`+"\n", err.Error())
+}

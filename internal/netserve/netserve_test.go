@@ -1,0 +1,383 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"liveupdate/internal/core"
+	"liveupdate/internal/trace"
+)
+
+// stubServer is a controllable inner Server: Serve echoes the sample's Time
+// as Prob, optionally sleeping to hold admission slots open.
+type stubServer struct {
+	delay   time.Duration
+	served  atomic.Uint64
+	batches atomic.Uint64
+	failOn  float64 // sample Time that triggers an error, 0 = never
+}
+
+func (s *stubServer) Serve(sm trace.Sample) (core.Response, error) {
+	if s.failOn != 0 && sm.Time == s.failOn {
+		return core.Response{}, fmt.Errorf("stub: poisoned sample")
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.served.Add(1)
+	return core.Response{Prob: sm.Time, Latency: 0.001, Replica: 7}, nil
+}
+
+func (s *stubServer) ServeBatch(samples []trace.Sample, resps []core.Response) error {
+	s.batches.Add(1)
+	for i := range samples {
+		var err error
+		if resps[i], err = s.Serve(samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *stubServer) Stats() core.Stats {
+	return core.Stats{Served: s.served.Load(), P50: math.NaN(), P99: math.NaN()}
+}
+
+func newTestGateway(t *testing.T, inner Server, cfg Config) *Gateway {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	g, err := New(inner, ln, cfg)
+	if err != nil {
+		ln.Close()
+		t.Fatalf("netserve.New: %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func TestNewValidatesArguments(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	if _, err := New(nil, ln, Config{}); err == nil {
+		t.Error("New accepted a nil server")
+	}
+	if _, err := New(&stubServer{}, nil, Config{}); err == nil {
+		t.Error("New accepted a nil listener")
+	}
+	if _, err := New(&stubServer{}, ln, Config{MaxConns: -1}); err == nil {
+		t.Error("New accepted a negative MaxConns")
+	}
+}
+
+func TestServeJSONRoundTrip(t *testing.T) {
+	stub := &stubServer{}
+	g := newTestGateway(t, stub, Config{})
+	base := "http://" + g.Addr().String()
+
+	sample := trace.Sample{Time: 3.25, Dense: []float64{1, 2}, Sparse: [][]int32{{5}}, Label: 1}
+	body, _ := json.Marshal(sample)
+	resp, err := http.Post(base+"/serve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /serve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /serve: %s", resp.Status)
+	}
+	var out core.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if out.Prob != 3.25 || out.Replica != 7 {
+		t.Fatalf("response %+v does not echo the stub", out)
+	}
+	if stub.served.Load() != 1 {
+		t.Fatalf("inner served %d requests, want 1", stub.served.Load())
+	}
+}
+
+func TestServeBinaryRoundTrip(t *testing.T) {
+	stub := &stubServer{}
+	g := newTestGateway(t, stub, Config{})
+	base := "http://" + g.Addr().String()
+
+	samples := sampleFixture()
+	resp, err := http.Post(base+"/serve.bin", "application/octet-stream",
+		bytes.NewReader(AppendBatch(nil, samples)))
+	if err != nil {
+		t.Fatalf("POST /serve.bin: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /serve.bin: %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	out, err := DecodeResponses(data)
+	if err != nil {
+		t.Fatalf("decoding responses: %v", err)
+	}
+	if len(out) != len(samples) {
+		t.Fatalf("got %d responses for %d samples", len(out), len(samples))
+	}
+	for i := range out {
+		if out[i].Prob != samples[i].Time {
+			t.Fatalf("response %d out of order: prob %v, want %v", i, out[i].Prob, samples[i].Time)
+		}
+	}
+	if stub.batches.Load() != 1 {
+		t.Fatalf("batch path not used: %d batches", stub.batches.Load())
+	}
+}
+
+func TestServeRejectsBadInput(t *testing.T) {
+	g := newTestGateway(t, &stubServer{}, Config{})
+	base := "http://" + g.Addr().String()
+
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"malformed JSON", "/serve", "{not json", http.StatusBadRequest},
+		{"oversized sample", "/serve",
+			fmt.Sprintf(`{"Sparse":[[%s]]}`, strings.Repeat("1,", maxWireIDs)+"1"),
+			http.StatusBadRequest},
+		{"bad binary magic", "/serve.bin", "XXXXXXXX", http.StatusBadRequest},
+		{"GET on POST endpoint", "/serve", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			if tc.name == "GET on POST endpoint" {
+				resp, err = http.Get(base + tc.path)
+			} else {
+				resp, err = http.Post(base+tc.path, "application/json", strings.NewReader(tc.body))
+			}
+			if err != nil {
+				t.Fatalf("request: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %s, want %d", resp.Status, tc.want)
+			}
+		})
+	}
+}
+
+// TestOversizedBodyIs413 sends a body over the JSON cap and expects the
+// request rejected before decoding, per the emt checkpoint discipline.
+func TestOversizedBodyIs413(t *testing.T) {
+	g := newTestGateway(t, &stubServer{}, Config{})
+	base := "http://" + g.Addr().String()
+
+	big := bytes.Repeat([]byte("a"), maxJSONBody+1)
+	resp, err := http.Post(base+"/serve", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatalf("POST /serve: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %s, want 413", resp.Status)
+	}
+}
+
+func TestStatsEndpointFoldsWireLedger(t *testing.T) {
+	g := newTestGateway(t, &stubServer{}, Config{})
+	base := "http://" + g.Addr().String()
+
+	sample, _ := json.Marshal(trace.Sample{Time: 1})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/serve", "application/json", bytes.NewReader(sample))
+		if err != nil {
+			t.Fatalf("POST /serve: %v", err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st core.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	if st.Served != 3 {
+		t.Errorf("Served = %d, want 3", st.Served)
+	}
+	// The stub reports NaN quantiles; the wire must carry the sentinel.
+	if st.P50 != wireNaN || st.P99 != wireNaN {
+		t.Errorf("NaN quantiles not sanitized: P50=%v P99=%v", st.P50, st.P99)
+	}
+	if len(st.Wire) != 2 {
+		t.Fatalf("wire ledger has %d endpoints, want 2", len(st.Wire))
+	}
+	var serve core.EndpointStats
+	for _, ep := range st.Wire {
+		if ep.Endpoint == "/serve" {
+			serve = ep
+		}
+	}
+	if serve.Accepted != 3 || serve.Shed != 0 {
+		t.Errorf("/serve ledger %+v, want 3 accepted / 0 shed", serve)
+	}
+}
+
+func TestInfoHandshake(t *testing.T) {
+	g := newTestGateway(t, &stubServer{}, Config{})
+	resp, err := http.Get("http://" + g.Addr().String() + "/info")
+	if err != nil {
+		t.Fatalf("GET /info: %v", err)
+	}
+	defer resp.Body.Close()
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decoding info: %v", err)
+	}
+	if info.Protocol != protocolVersion {
+		t.Errorf("Protocol = %d, want %d", info.Protocol, protocolVersion)
+	}
+	// The stub exposes no Profile/NumShards/DefaultBatchSize; the handshake
+	// degrades to defaults rather than failing.
+	if info.Replicas != 1 || info.Profile != "" {
+		t.Errorf("stub handshake %+v, want 1 replica and empty profile", info)
+	}
+}
+
+// TestFlashCrowdSheds429 saturates a one-slot, two-deep gateway with a burst
+// far wider than its capacity: the overflow must come back as 429 with
+// Retry-After hints, while every accepted request completes.
+func TestFlashCrowdSheds429(t *testing.T) {
+	stub := &stubServer{delay: 20 * time.Millisecond}
+	g := newTestGateway(t, stub, Config{MaxInflight: 1, QueueDepth: 2})
+	base := "http://" + g.Addr().String()
+
+	const burst = 16
+	var wg sync.WaitGroup
+	var ok, shed atomic.Uint64
+	sample, _ := json.Marshal(trace.Sample{Time: 1})
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/serve", "application/json", bytes.NewReader(sample))
+			if err != nil {
+				t.Errorf("POST /serve: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				if ms := resp.Header.Get("X-Retry-After-Ms"); ms == "" {
+					t.Error("429 without X-Retry-After-Ms")
+				} else if v, err := strconv.Atoi(ms); err != nil || v < 1 {
+					t.Errorf("X-Retry-After-Ms = %q, want a positive integer", ms)
+				}
+				var body struct {
+					Error  string `json:"error"`
+					Reason string `json:"reason"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error != "overloaded" {
+					t.Errorf("429 body %+v (err %v), want overloaded", body, err)
+				}
+			default:
+				t.Errorf("unexpected status %s", resp.Status)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Capacity is 1 inflight + 2 queued: a 16-wide burst must shed and must
+	// also serve at least the requests that held capacity.
+	if shed.Load() == 0 {
+		t.Fatal("flash crowd shed nothing")
+	}
+	if ok.Load() == 0 {
+		t.Fatal("flash crowd served nothing")
+	}
+	if ok.Load()+shed.Load() != burst {
+		t.Fatalf("accounting: %d ok + %d shed != %d", ok.Load(), shed.Load(), burst)
+	}
+	if stub.served.Load() != ok.Load() {
+		t.Fatalf("inner served %d but %d clients got 200", stub.served.Load(), ok.Load())
+	}
+	for _, ep := range g.WireStats() {
+		if ep.Endpoint == "/serve" {
+			if ep.Accepted != ok.Load() || ep.Shed != shed.Load() {
+				t.Fatalf("ledger %+v disagrees with clients (%d ok, %d shed)", ep, ok.Load(), shed.Load())
+			}
+			if ep.Inflight != 0 || ep.Queued != 0 {
+				t.Fatalf("gauges leaked after drain: %+v", ep)
+			}
+		}
+	}
+}
+
+func TestInnerServeErrorIs422(t *testing.T) {
+	g := newTestGateway(t, &stubServer{failOn: 13}, Config{})
+	body, _ := json.Marshal(trace.Sample{Time: 13})
+	resp, err := http.Post("http://"+g.Addr().String()+"/serve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /serve: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %s, want 422", resp.Status)
+	}
+}
+
+func TestGatewayCloseIsIdempotent(t *testing.T) {
+	g := newTestGateway(t, &stubServer{}, Config{})
+	if err := g.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The listener must actually be closed.
+	if _, err := net.DialTimeout("tcp", g.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}
+
+func TestGatewayServesInProcess(t *testing.T) {
+	stub := &stubServer{}
+	g := newTestGateway(t, stub, Config{})
+	resp, err := g.Serve(trace.Sample{Time: 9})
+	if err != nil {
+		t.Fatalf("in-process Serve: %v", err)
+	}
+	if resp.Prob != 9 {
+		t.Fatalf("in-process Serve returned %+v", resp)
+	}
+	if st := g.Stats(); st.Served != 1 || len(st.Wire) != 2 {
+		t.Fatalf("Stats %+v, want 1 served and a 2-endpoint wire ledger", st)
+	}
+}

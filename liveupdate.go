@@ -51,6 +51,7 @@ package liveupdate
 import (
 	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"liveupdate/internal/cluster"
@@ -58,13 +59,15 @@ import (
 	"liveupdate/internal/driver"
 	"liveupdate/internal/experiments"
 	"liveupdate/internal/fleet"
+	"liveupdate/internal/netclient"
+	"liveupdate/internal/netserve"
 	"liveupdate/internal/numasim"
 	"liveupdate/internal/trace"
 	"liveupdate/internal/update"
 )
 
 // Version identifies this reproduction release.
-const Version = "2.2.0"
+const Version = "2.3.0"
 
 // Server is the unified serving abstraction: one request in, a scored
 // response out, plus a consistent statistics snapshot. Both the single-node
@@ -249,6 +252,8 @@ type config struct {
 	chaos     ChaosSchedule
 	legacy    *core.Options
 	overrides []func(*core.Options)
+	listener  net.Listener
+	admission AdmissionConfig
 }
 
 // WithProfile selects the dataset/workload profile (required unless a legacy
@@ -390,6 +395,84 @@ func WithSystemOptions(edit func(*Options)) Option {
 	})
 }
 
+// WithListener exposes the constructed Server over a real TCP (or any
+// net.Listener) wire front end: HTTP/1.1 + JSON for single requests, a
+// length-prefixed binary fast path for batches, with connection limits, a
+// bounded admission queue, and SLA-budget-aware load shedding (429 +
+// Retry-After). New then returns a *Gateway — still a Server, with its
+// Serve/Stats delegating in-process — whose Addr and Close manage the
+// listener; type-assert to reach them:
+//
+//	srv, _ := liveupdate.New(liveupdate.WithProfile(p), liveupdate.WithListener(ln))
+//	gw := srv.(*liveupdate.Gateway)
+//	defer gw.Close()
+//
+// The gateway owns the listener and closes it on Close. The wire path is
+// deliberately outside the virtual-time determinism contract: request
+// arrival order over concurrent connections is wall-clock real, so
+// worker-count-invariant statistics hold for in-process driving only.
+func WithListener(ln net.Listener) Option {
+	return optionFunc(func(c *config) error {
+		if ln == nil {
+			return fmt.Errorf("liveupdate: WithListener requires a non-nil listener")
+		}
+		c.listener = ln
+		return nil
+	})
+}
+
+// WithAdmission sets the wire front end's admission policy (connection
+// limit, inflight bound, queue depth, SLA shedding budget). Only meaningful
+// together with WithListener; zero fields take the netserve defaults.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return optionFunc(func(c *config) error {
+		c.admission = cfg
+		return nil
+	})
+}
+
+// AdmissionConfig is the wire front end's admission policy: MaxConns bounds
+// accepted connections, MaxInflight bounds concurrently served wire
+// requests, QueueDepth bounds the FIFO wait queue, and SLABudget (when
+// positive) sheds arrivals whose predicted queueing delay already exceeds
+// the budget. See internal/netserve.Config for field semantics and defaults.
+type AdmissionConfig = netserve.Config
+
+// Gateway is a Server exposed over a listener; see WithListener.
+type Gateway = netserve.Gateway
+
+// EndpointStats is one wire endpoint's admission ledger, carried in
+// Stats.Wire when a Gateway fronts the server.
+type EndpointStats = core.EndpointStats
+
+// DialConfig configures Dial: Conns client lanes (parallel connections that
+// the load driver treats as shards), the per-attempt Timeout, and the 429
+// retry budget (Retries attempts, each back-off capped at MaxRetryWait).
+type DialConfig = netclient.Config
+
+// RemoteServer is a Server backed by a remote Gateway; see Dial.
+type RemoteServer = netclient.Client
+
+// Dial connects to a Gateway in another process and returns a RemoteServer:
+// a Server (with the sharded batch surfaces Drive uses for coalescing)
+// whose requests travel over the wire — singles as JSON, coalesced batches
+// on the binary fast path. 429 shed responses are absorbed transparently
+// with Retry-After back-off; RemoteServer.Shed429 counts them. Stats()
+// fetches the server-side snapshot, wire admission ledger included.
+//
+//	remote, err := liveupdate.Dial("localhost:7070", liveupdate.DialConfig{Conns: 8})
+//	...
+//	report, err := liveupdate.Drive(remote, workload, cfg)
+func Dial(addr string, cfg DialConfig) (*RemoteServer, error) {
+	return netclient.Dial(addr, cfg)
+}
+
+// Both wire endpoints satisfy the serving abstraction.
+var (
+	_ Server = (*Gateway)(nil)
+	_ Server = (*RemoteServer)(nil)
+)
+
 // Options is the legacy flat configuration struct.
 //
 // Deprecated: build Servers with New and functional options (WithProfile,
@@ -443,24 +526,38 @@ func New(opts ...Option) (Server, error) {
 	for _, edit := range c.overrides {
 		edit(&base)
 	}
+	var srv Server
 	if c.replicas == 1 {
 		if len(c.chaos) > 0 {
 			return nil, fmt.Errorf("liveupdate: WithChaos requires a fleet (WithReplicas > 1)")
 		}
-		return core.New(base)
+		s, err := core.New(base)
+		if err != nil {
+			return nil, err
+		}
+		srv = s
+	} else {
+		router, err := cluster.NewRouter(c.router)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cluster.New(cluster.Config{
+			Base:      base,
+			Replicas:  c.replicas,
+			Router:    router,
+			SyncEvery: c.syncEvery,
+			Mode:      c.syncMode,
+			Chaos:     c.chaos,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv = cl
 	}
-	router, err := cluster.NewRouter(c.router)
-	if err != nil {
-		return nil, err
+	if c.listener != nil {
+		return netserve.New(srv, c.listener, c.admission)
 	}
-	return cluster.New(cluster.Config{
-		Base:      base,
-		Replicas:  c.replicas,
-		Router:    router,
-		SyncEvery: c.syncEvery,
-		Mode:      c.syncMode,
-		Chaos:     c.chaos,
-	})
+	return srv, nil
 }
 
 // DriveConfig configures Drive, the concurrent load driver.
