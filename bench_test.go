@@ -508,3 +508,83 @@ func BenchmarkCostModel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSyncScaleSweep regenerates the fleet-scale sync experiment in
+// quick mode: the 4→256 topology sweep with its cross-config fingerprint
+// equivalence check. Its trajectory tracks the cost of pricing hierarchical
+// collectives, delta syncs, and compressed payloads together.
+func BenchmarkSyncScaleSweep(b *testing.B) { benchExperiment(b, "syncscale") }
+
+// BenchmarkSyncCollectivePricing prices one ranked sync of a prepared
+// 16-member group under the most expensive knob combination (tree topology,
+// delta tracking, flate-6 payload compression). This is the per-sync
+// overhead the pricing layer adds on top of the merge itself.
+func BenchmarkSyncCollectivePricing(b *testing.B) {
+	rng := tensor.NewRNG(7)
+	base := emt.NewGroup(2, 512, 16, rng)
+	cfg := lora.DefaultConfig(512, 16)
+	states := make([]collective.RankedState, 16)
+	grad := make([]float64, 16)
+	for i := range grad {
+		grad[i] = 0.05
+	}
+	for i := range states {
+		c := cfg
+		c.Seed = uint64(i)
+		set := lora.MustNewSet(base, c)
+		for t := 0; t < 2; t++ {
+			set.ApplyGrad(t, []int32{int32(i), int32(i + 16), int32(i + 32)}, grad, 0.05)
+		}
+		states[i] = collective.RankedState{Rank: i, Tables: set.ExportState()}
+	}
+	topo, err := collective.ParseTopology(collective.TopologyTree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := collective.NewSyncGroupWith(collective.GroupConfig{
+		BandwidthBps:  simnet.Gbps100,
+		LatencySec:    1e-6,
+		Topology:      topo,
+		Delta:         true,
+		CompressLevel: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := simnet.NewClock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := sg.SyncRanked(clock, states); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPayloadCodec round-trips a realistic sync payload through the
+// hardened wire codec at flate level 6 — the serialization cost the
+// compression knob charges for.
+func BenchmarkPayloadCodec(b *testing.B) {
+	rng := tensor.NewRNG(7)
+	base := emt.NewGroup(2, 512, 16, rng)
+	cfg := lora.DefaultConfig(512, 16)
+	set := lora.MustNewSet(base, cfg)
+	grad := make([]float64, 16)
+	ids := make([]int32, 64)
+	for i := range ids {
+		ids[i] = int32(i * 7 % 512)
+	}
+	for t := 0; t < 2; t++ {
+		set.ApplyGrad(t, ids, grad, 0.05)
+	}
+	tables := set.ExportState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := collective.EncodePayload(tables, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := collective.DecodePayload(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -41,6 +41,10 @@ func main() {
 		"override the elastic experiment's built-in membership schedule, e.g. \"@2s kill 1; @4s replace 1; @6s scale 6\"")
 	batch := flag.Int("batch", 0,
 		"lane-coalescing batch size for the fleet-serving experiments (syncpipe, elastic); 0 = unbatched")
+	topology := flag.String("topology", "",
+		fmt.Sprintf("restrict the syncscale experiment to one sync collective topology %v; empty sweeps all", liveupdate.SyncTopologies()))
+	delta := flag.Bool("delta", false, "bill delta syncs (only changed rows/factors) in the fleet-serving experiments")
+	compress := flag.Int("compress", 0, "flate level for sync payload pricing in the fleet-serving experiments (0 = off, 1-9)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
 	flag.Parse()
@@ -71,6 +75,27 @@ func main() {
 	if *batch < 0 {
 		fmt.Fprintf(os.Stderr, "liveupdate-bench: -batch must be non-negative, got %d\n", *batch)
 		os.Exit(1)
+	}
+	// The fleet-scale sync flags follow the usage-then-exit-2 convention:
+	// a bad value prints the flag table so the valid domain is in view.
+	usagef := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "liveupdate-bench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *topology != "" {
+		valid := false
+		for _, t := range liveupdate.SyncTopologies() {
+			if *topology == string(t) {
+				valid = true
+			}
+		}
+		if !valid {
+			usagef("-topology must be one of %v, got %q", liveupdate.SyncTopologies(), *topology)
+		}
+	}
+	if *compress < 0 || *compress > 9 {
+		usagef("-compress must be in [0,9], got %d", *compress)
 	}
 	// Profiling brackets the experiment runs themselves; stopProfiles is
 	// called explicitly (not deferred) right after the experiments finish, so
@@ -166,6 +191,9 @@ func main() {
 				SyncMode:    liveupdate.SyncMode(*syncMode),
 				ChaosScript: *chaosScript,
 				BatchSize:   *batch,
+				Topology:    liveupdate.SyncTopology(*topology),
+				DeltaSync:   *delta,
+				Compression: *compress,
 			})
 			results[i] = result{out: out, seconds: time.Since(start).Seconds(), err: err}
 		}(i, id)

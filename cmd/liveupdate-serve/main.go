@@ -11,6 +11,7 @@
 //	liveupdate-serve -replicas 4 -concurrency 8          # parallel load driver
 //	liveupdate-serve -replicas 4 -sync-mode barrier      # legacy stop-the-world syncs
 //	liveupdate-serve -replicas 4 -chaos "@2s kill 1; @4s replace 1; @6s scale 6"
+//	liveupdate-serve -replicas 8 -topology tree -delta -compress 6  # hierarchical sync billing
 //
 //	liveupdate-serve -replicas 4 -listen :7070 -queue-depth 32   # process 1: serve the wire
 //	liveupdate-serve -connect localhost:7070 -conns 8 -batch 8   # process 2: drive it
@@ -45,6 +46,12 @@ func main() {
 		"virtual-time interval between fleet LoRA syncs (0 disables)")
 	syncMode := flag.String("sync-mode", string(liveupdate.SyncModeAsync),
 		fmt.Sprintf("fleet sync propagation %v: async pipelines snapshot→merge→publish off the serving path, barrier stops the world", liveupdate.SyncModes()))
+	topology := flag.String("topology", string(liveupdate.SyncTopologyFlat),
+		fmt.Sprintf("sync collective topology %v: flat is the N² all-gather, ring/tree are hierarchical (~N·log N wire bill; merged state is identical)", liveupdate.SyncTopologies()))
+	deltaSync := flag.Bool("delta", false,
+		"bill delta syncs: only rows/factors whose epoch changed since the peer's last acked generation count against the wire")
+	compress := flag.Int("compress", 0,
+		"flate level for sync payload pricing: trades compress cpu-seconds for wire-bytes (0 = off, 1-9)")
 	noTrain := flag.Bool("no-train", false, "disable the co-located trainer (Only-Infer mode)")
 	noIsolation := flag.Bool("no-isolation", false, "disable NUMA scheduling and reuse (naive co-location)")
 	concurrency := flag.Int("concurrency", 1,
@@ -97,6 +104,25 @@ func main() {
 	if *batch < 1 {
 		fatalf("-batch must be >= 1, got %d", *batch)
 	}
+	// The fleet-scale sync flags follow the usage-then-exit-2 convention: a
+	// bad value prints the flag table so the valid domain is in view.
+	usagef := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "liveupdate-serve: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	validTopology := false
+	for _, t := range liveupdate.SyncTopologies() {
+		if *topology == string(t) {
+			validTopology = true
+		}
+	}
+	if !validTopology {
+		usagef("-topology must be one of %v, got %q", liveupdate.SyncTopologies(), *topology)
+	}
+	if *compress < 0 || *compress > 9 {
+		usagef("-compress must be in [0,9], got %d", *compress)
+	}
 
 	var chaos liveupdate.ChaosSchedule
 	if *chaosScript != "" {
@@ -133,6 +159,9 @@ func main() {
 		liveupdate.WithRouter(liveupdate.RouterPolicy(*router)),
 		liveupdate.WithSyncEvery(*syncEvery),
 		liveupdate.WithSyncMode(liveupdate.SyncMode(*syncMode)),
+		liveupdate.WithSyncTopology(liveupdate.SyncTopology(*topology)),
+		liveupdate.WithDeltaSync(*deltaSync),
+		liveupdate.WithCompression(*compress),
 		liveupdate.WithTraining(!*noTrain),
 		liveupdate.WithIsolation(!*noIsolation),
 	}
@@ -236,8 +265,13 @@ func main() {
 			fmt.Printf("  %-8d %-10d %-10.3f %-12.4f %-12d %-12.2f\n",
 				i, rs.Served, rs.P99*1000, rs.ViolationRate, rs.TrainSteps, rs.VirtualTime)
 		}
-		fmt.Printf("\nfleet sync (%s): %d syncs, %d payload bytes, %.4f virtual s (%.4f compute + %.4f publish)\n",
-			*syncMode, st.Syncs, st.SyncBytes, st.SyncSeconds, st.SyncComputeSeconds, st.SyncPublishSeconds)
+		fmt.Printf("\nfleet sync (%s/%s): %d syncs, %d payload bytes, %d wire bytes, %.4f virtual s (%.4f compute + %.4f publish)\n",
+			*syncMode, st.SyncTopology, st.Syncs, st.SyncBytes, st.SyncWireBytes,
+			st.SyncSeconds, st.SyncComputeSeconds, st.SyncPublishSeconds)
+		if st.SyncDeltaSavedBytes != 0 || st.SyncCompressSavedBytes != 0 {
+			fmt.Printf("fleet sync savings: delta %d bytes, compression %d bytes for %.4f compress s\n",
+				st.SyncDeltaSavedBytes, st.SyncCompressSavedBytes, st.SyncCompressSeconds)
+		}
 		if st.Joins+st.Leaves+st.Fails > 0 {
 			fmt.Printf("fleet membership: %d active, %d joins, %d leaves, %d fails; catch-up %d bytes in %.4f virtual s\n",
 				st.Members, st.Joins, st.Leaves, st.Fails, st.CatchUpBytes, st.CatchUpSeconds)

@@ -136,6 +136,20 @@ type Config struct {
 	BandwidthBps float64
 	LatencySec   float64
 
+	// Topology selects the collective pricing the sync fabric: "flat" (the
+	// default recursive-doubling AllGather), "ring", or "tree". The merged
+	// state is identical under every topology; only the sync bill changes.
+	Topology collective.Kind
+
+	// DeltaSync bills only rows and factors changed since each peer's last
+	// acknowledged sync generation. Pure cost accounting — state flow is
+	// unchanged, so results stay bit-identical to full sync.
+	DeltaSync bool
+
+	// Compression prices flate compression of sync payloads: 0 disables,
+	// 1 (fastest) … 9 (best ratio). Trades CompressSeconds for WireBytes.
+	Compression int
+
 	// Chaos optionally attaches a default membership-event schedule to the
 	// cluster. It is advisory: the load driver picks it up when its own
 	// configuration carries no schedule (liveupdate.WithChaos wires this).
@@ -155,6 +169,12 @@ func (c Config) Validate() error {
 	}
 	if c.BandwidthBps < 0 || c.LatencySec < 0 {
 		return fmt.Errorf("cluster: link parameters must be non-negative")
+	}
+	if _, err := collective.ParseTopology(c.Topology); err != nil {
+		return err
+	}
+	if c.Compression < 0 || c.Compression > 9 {
+		return fmt.Errorf("cluster: Compression level %d out of range [0,9]", c.Compression)
 	}
 	if err := c.Chaos.Validate(); err != nil {
 		return fmt.Errorf("cluster: chaos schedule: %w", err)
@@ -285,7 +305,20 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	// The SyncGroup carries link pricing and cumulative accounting; the
 	// replica set it syncs over is the live member view, passed per sync.
-	c.sync = collective.NewSyncGroup(nil, cfg.BandwidthBps, cfg.LatencySec)
+	topo, err := collective.ParseTopology(cfg.Topology)
+	if err != nil {
+		return nil, err // unreachable: Validate already parsed it
+	}
+	c.sync, err = collective.NewSyncGroupWith(collective.GroupConfig{
+		BandwidthBps:  cfg.BandwidthBps,
+		LatencySec:    cfg.LatencySec,
+		Topology:      topo,
+		Delta:         cfg.DeltaSync,
+		CompressLevel: cfg.Compression,
+	})
+	if err != nil {
+		return nil, err // unreachable: Validate already checked the level
+	}
 	c.async = collective.NewAsyncSyncGroup(c.sync)
 	if mode == SyncAsync && cfg.SyncEvery > 0 {
 		c.pipe = newSyncPipeline(c)
@@ -1004,6 +1037,11 @@ func (c *Cluster) mergedStatsLocked(fs fleet.Stats, ret fleet.Retired) core.Stat
 	merged.SyncSeconds = gs.Seconds()
 	merged.SyncComputeSeconds = gs.ComputeSeconds
 	merged.SyncPublishSeconds = gs.PublishSeconds
+	merged.SyncWireBytes = gs.WireBytes
+	merged.SyncDeltaSavedBytes = gs.DeltaSavedBytes
+	merged.SyncCompressSavedBytes = gs.CompressSavedBytes
+	merged.SyncCompressSeconds = gs.CompressSeconds
+	merged.SyncTopology = string(c.sync.Topology().Kind())
 	merged.SLA = c.cfg.Base.Node.SLA
 
 	merged.Members = fs.Members

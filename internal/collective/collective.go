@@ -6,7 +6,6 @@ package collective
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"liveupdate/internal/lora"
@@ -15,12 +14,10 @@ import (
 
 // AllGatherRounds returns the number of communication rounds recursive
 // doubling needs for n participants: ceil(log2(n)).
-func AllGatherRounds(n int) int {
-	if n <= 1 {
-		return 0
-	}
-	return int(math.Ceil(math.Log2(float64(n))))
-}
+//
+// Deprecated: use Flat{}.Rounds. The free-function cost model is kept as a
+// thin wrapper over the Flat topology so existing callers compile unchanged.
+func AllGatherRounds(n int) int { return Flat{}.Rounds(n) }
 
 // AllGatherTime returns the virtual duration of a recursive-doubling
 // AllGather where every node contributes bytesPerNode, over uniform links
@@ -29,62 +26,38 @@ func AllGatherRounds(n int) int {
 // overlap (full duplex), so a round costs latency + blockBytes/bandwidth.
 // Total data held per node at the end is n·bytesPerNode; total time is
 // O(log n) in latency and O(n) in bytes — the favorable scaling of Fig 19.
+//
+// Deprecated: use Flat{}.GatherTime.
 func AllGatherTime(n int, bytesPerNode int64, bandwidthBps, latencySec float64) float64 {
-	if n <= 1 {
-		return 0
-	}
-	if bytesPerNode < 0 {
-		panic("collective: negative payload")
-	}
-	if bandwidthBps <= 0 {
-		panic("collective: bandwidth must be positive")
-	}
-	total := 0.0
-	block := float64(bytesPerNode)
-	for r := 0; r < AllGatherRounds(n); r++ {
-		total += latencySec + block/bandwidthBps
-		block *= 2
-	}
-	return total
+	return Flat{}.GatherTime(n, bytesPerNode, 0, bandwidthBps, latencySec)
 }
 
 // AllGatherBytes returns the total wire volume a recursive-doubling
 // AllGather moves for n participants each contributing bytesPerNode: in
 // round r every node ships its accumulated 2^r·bytesPerNode block, so the
 // fleet-wide traffic is n·(2^rounds − 1)·bytesPerNode.
+//
+// Deprecated: use Flat{}.GatherBytes.
 func AllGatherBytes(n int, bytesPerNode int64) int64 {
-	if n <= 1 {
-		return 0
-	}
-	if bytesPerNode < 0 {
-		panic("collective: negative payload")
-	}
-	return int64(n) * ((1 << AllGatherRounds(n)) - 1) * bytesPerNode
+	return Flat{}.GatherBytes(n, bytesPerNode, 0)
 }
 
 // BroadcastTime returns the virtual duration of a binomial-tree broadcast of
 // size bytes to n nodes: ceil(log2(n)) rounds, each shipping the full
 // payload one hop.
+//
+// Deprecated: use Flat{}.BroadcastTime.
 func BroadcastTime(n int, size int64, bandwidthBps, latencySec float64) float64 {
-	if n <= 1 {
-		return 0
-	}
-	rounds := AllGatherRounds(n)
-	per := latencySec + float64(size)/bandwidthBps
-	return float64(rounds) * per
+	return Flat{}.BroadcastTime(n, size, bandwidthBps, latencySec)
 }
 
 // BroadcastBytes returns the total wire volume of a binomial-tree broadcast
 // of size bytes to n nodes: n−1 point-to-point transmissions of the full
 // payload (the rounds overlap in time, not in traffic).
+//
+// Deprecated: use Flat{}.BroadcastBytes.
 func BroadcastBytes(n int, size int64) int64 {
-	if n <= 1 {
-		return 0
-	}
-	if size < 0 {
-		panic("collective: negative payload")
-	}
-	return int64(n-1) * size
+	return Flat{}.BroadcastBytes(n, size)
 }
 
 // AllGatherOnNetwork executes a recursive-doubling AllGather on an actual
@@ -244,16 +217,42 @@ func sortRowUpdates(rows []lora.RowUpdate) {
 //
 // Accounting methods (Stats, GroupStats) and the cumulative counters are
 // guarded by an internal mutex so the asynchronous pipeline can fold results
-// in from a background goroutine while reporting code reads totals.
+// in from a background goroutine while reporting code reads totals. The
+// delta-sync generation tracking shares that mutex and additionally assumes
+// merges are not concurrent with each other — the serialization every caller
+// (cluster syncMu, sequential Begin/Finish pairs) already provides.
 type SyncGroup struct {
 	Replicas []*lora.Set
 
 	BandwidthBps float64
 	LatencySec   float64
 
+	topo     Topology // nil means Flat
+	delta    bool
+	compress int // flate level; 0 = off
+
 	mu    sync.Mutex
 	stats GroupStats
+
+	// Delta-sync tracking, nil unless delta is enabled. Generations are
+	// 1-based sync counts (== stats.Syncs after each commit).
+	acked  map[int]int64           // rank → last generation it acknowledged
+	pubB   map[int]uint64          // table → fingerprint of the last published B
+	bGen   map[int]int64           // table → generation the published B last changed
+	rowGen map[int]map[int32]int64 // table → row id → generation it last changed
 }
+
+// topology returns the configured topology, defaulting to Flat so
+// zero-valued and legacy-constructed groups keep the original cost model.
+func (sg *SyncGroup) topology() Topology {
+	if sg.topo == nil {
+		return Flat{}
+	}
+	return sg.topo
+}
+
+// Topology returns the topology pricing this group's collectives.
+func (sg *SyncGroup) Topology() Topology { return sg.topology() }
 
 // GroupStats is a SyncGroup's cumulative accounting across syncs.
 type GroupStats struct {
@@ -272,17 +271,86 @@ type GroupStats struct {
 	// ComputeSeconds is the virtual time spent gathering and merging —
 	// the phase the asynchronous pipeline moves off the serving critical
 	// path. PublishSeconds is the virtual time broadcasting and installing
-	// the merged state. Their sum is the total sync cost.
+	// the merged state. Their sum (plus CompressSeconds) is the total sync
+	// cost.
 	ComputeSeconds float64
 	PublishSeconds float64
+
+	// DeltaSavedBytes is the wire volume delta syncs avoided versus
+	// shipping full payloads over the same topology; always 0 with delta
+	// sync off.
+	DeltaSavedBytes int64
+	// CompressSavedBytes is the wire volume payload compression avoided
+	// versus the uncompressed (delta-adjusted) payloads; it can go slightly
+	// negative when flate framing expands tiny payloads.
+	CompressSavedBytes int64
+	// CompressSeconds is the modeled cpu time spent deflating sync payloads
+	// — the cost knob traded against WireBytes. Always 0 with compression
+	// off.
+	CompressSeconds float64
 }
 
-// Seconds returns the total virtual sync time (compute + publish).
-func (g GroupStats) Seconds() float64 { return g.ComputeSeconds + g.PublishSeconds }
+// Seconds returns the total virtual sync time (compute + publish +
+// compression cpu).
+func (g GroupStats) Seconds() float64 {
+	return g.ComputeSeconds + g.PublishSeconds + g.CompressSeconds
+}
 
-// NewSyncGroup wraps the replica sets with uniform link parameters.
+// GroupConfig configures a SyncGroup beyond the uniform link parameters.
+type GroupConfig struct {
+	Replicas     []*lora.Set
+	BandwidthBps float64
+	LatencySec   float64
+
+	// Topology prices the gather/broadcast collectives; nil means Flat, the
+	// original recursive-doubling model.
+	Topology Topology
+	// Delta bills only rows whose generation changed since each peer's last
+	// acknowledged sync and skips unchanged shared factors. It is pure cost
+	// accounting: the merge result stays bit-identical to full sync.
+	Delta bool
+	// CompressLevel prices flate compression of sync payloads: 0 disables,
+	// 1 (fastest) … 9 (best ratio). Wire bytes shrink; CompressSeconds pays
+	// for it.
+	CompressLevel int
+}
+
+// NewSyncGroupWith builds a SyncGroup from an explicit configuration.
+func NewSyncGroupWith(cfg GroupConfig) (*SyncGroup, error) {
+	if cfg.CompressLevel < 0 || cfg.CompressLevel > 9 {
+		return nil, fmt.Errorf("collective: compression level %d out of range [0,9]", cfg.CompressLevel)
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = Flat{}
+	}
+	sg := &SyncGroup{
+		Replicas:     cfg.Replicas,
+		BandwidthBps: cfg.BandwidthBps,
+		LatencySec:   cfg.LatencySec,
+		topo:         topo,
+		delta:        cfg.Delta,
+		compress:     cfg.CompressLevel,
+	}
+	if cfg.Delta {
+		sg.acked = make(map[int]int64)
+		sg.pubB = make(map[int]uint64)
+		sg.bGen = make(map[int]int64)
+		sg.rowGen = make(map[int]map[int32]int64)
+	}
+	return sg, nil
+}
+
+// NewSyncGroup wraps the replica sets with uniform link parameters, flat
+// topology, full payloads, and no compression — the original cost model.
 func NewSyncGroup(replicas []*lora.Set, bandwidthBps, latencySec float64) *SyncGroup {
-	return &SyncGroup{Replicas: replicas, BandwidthBps: bandwidthBps, LatencySec: latencySec}
+	sg, err := NewSyncGroupWith(GroupConfig{
+		Replicas: replicas, BandwidthBps: bandwidthBps, LatencySec: latencySec,
+	})
+	if err != nil {
+		panic(err) // unreachable: the zero knobs are always valid
+	}
+	return sg
 }
 
 // Sync is the synchronous (barrier) protocol: it snapshots all replicas'
@@ -309,9 +377,16 @@ func (sg *SyncGroup) Sync(c *simnet.Clock) (MergeStats, error) {
 // syncCost is one sync's wire/time bill, derived from the snapshots and the
 // merged result.
 type syncCost struct {
-	computeSeconds float64
-	publishSeconds float64
-	wireBytes      int64
+	computeSeconds  float64
+	publishSeconds  float64
+	compressSeconds float64
+	wireBytes       int64
+	deltaSaved      int64
+	compressSaved   int64
+
+	// tracking stages the delta bookkeeping to apply at commit (nil when
+	// delta sync is off).
+	tracking *deltaTracking
 }
 
 // merge runs the priority merge and prices the collective: AllGather on the
@@ -330,24 +405,72 @@ func (sg *SyncGroup) merge(states [][]lora.TableState) ([]lora.TableState, Merge
 // fleet uses, where the priority rank is a member's stable identity rather
 // than its position in a fixed replica slice.
 func (sg *SyncGroup) mergeRanked(states []RankedState) ([]lora.TableState, MergeStats, syncCost, error) {
-	var maxPayload int64
-	for _, st := range states {
-		if p := lora.PayloadBytes(st.Tables); p > maxPayload {
-			maxPayload = p
-		}
-	}
 	merged, stats, err := PriorityMergeRanked(states)
 	if err != nil {
 		return nil, stats, syncCost{}, err
 	}
+	return merged, stats, sg.priceSync(states, merged), nil
+}
+
+// priceSync prices one sync's collective over the configured topology:
+// a gather paced by the largest per-rank payload, a broadcast of the merged
+// state, and — when enabled — delta tailoring and flate compression of both.
+// It never touches the replicas or the clock (delta tracking maps are read,
+// not written, under sg.mu), so it is safe on a background goroutine.
+func (sg *SyncGroup) priceSync(states []RankedState, merged []lora.TableState) syncCost {
 	n := len(states)
-	mergedPayload := lora.PayloadBytes(merged)
-	cost := syncCost{
-		computeSeconds: AllGatherTime(n, maxPayload, sg.BandwidthBps, sg.LatencySec),
-		publishSeconds: BroadcastTime(n, mergedPayload, sg.BandwidthBps, sg.LatencySec),
-		wireBytes:      AllGatherBytes(n, maxPayload) + BroadcastBytes(n, mergedPayload),
+	topo := sg.topology()
+
+	// Full sizing: the pacing (largest) per-rank payload and the merged
+	// payload — the classic bill, and the baseline delta savings are
+	// measured against. Pacing ties break toward the higher rank id so the
+	// bill is invariant under input permutations.
+	var maxFull, sumFull int64
+	pacing := 0
+	for i, st := range states {
+		p := lora.PayloadBytes(st.Tables)
+		sumFull += p
+		if p > maxFull || (p == maxFull && st.Rank > states[pacing].Rank) {
+			maxFull = p
+			pacing = i
+		}
 	}
-	return merged, stats, cost, nil
+	mergedFull := lora.PayloadBytes(merged)
+
+	var cost syncCost
+	perRank, mergedSize, sumRaw := maxFull, mergedFull, sumFull
+	pacingTables := states[pacing].Tables
+	pubTables := merged
+
+	if sg.delta {
+		ds := sg.deltaSize(states, merged)
+		perRank, mergedSize, sumRaw = ds.perRank, ds.merged, ds.sum
+		pacingTables, pubTables = ds.pacing, ds.pub
+		cost.tracking = ds.track
+		cost.wireBytes += ds.backBytes
+		cost.publishSeconds += ds.backSecs
+		wireFull := topo.GatherBytes(n, maxFull, mergedFull) + topo.BroadcastBytes(n, mergedFull)
+		wireEff := topo.GatherBytes(n, perRank, mergedSize) + topo.BroadcastBytes(n, mergedSize) + ds.backBytes
+		cost.deltaSaved = wireFull - wireEff
+	}
+
+	if sg.compress > 0 {
+		// Deflate the two pacing payloads for real — deterministic sizes —
+		// and bill cpu for every byte the fleet would push through flate:
+		// each rank's contribution once, plus the merged state once.
+		zPacing := compressedPayloadBytes(pacingTables, sg.compress)
+		zMerged := compressedPayloadBytes(pubTables, sg.compress)
+		wirePlain := topo.GatherBytes(n, perRank, mergedSize) + topo.BroadcastBytes(n, mergedSize)
+		wireZ := topo.GatherBytes(n, zPacing, zMerged) + topo.BroadcastBytes(n, zMerged)
+		cost.compressSaved = wirePlain - wireZ
+		cost.compressSeconds = float64(sumRaw+mergedSize) / compressThroughputBps(sg.compress)
+		perRank, mergedSize = zPacing, zMerged
+	}
+
+	cost.computeSeconds += topo.GatherTime(n, perRank, mergedSize, sg.BandwidthBps, sg.LatencySec)
+	cost.publishSeconds += topo.BroadcastTime(n, mergedSize, sg.BandwidthBps, sg.LatencySec)
+	cost.wireBytes += topo.GatherBytes(n, perRank, mergedSize) + topo.BroadcastBytes(n, mergedSize)
+	return cost
 }
 
 // SyncRanked runs one barrier-protocol sync over pre-taken ranked
@@ -370,7 +493,7 @@ func (sg *SyncGroup) SyncRanked(c *simnet.Clock, states []RankedState) ([]lora.T
 // cumulative stats, returning the sync generation for version stamping.
 func (sg *SyncGroup) commit(cost syncCost, stats MergeStats, c *simnet.Clock) int64 {
 	if c != nil {
-		c.Advance(cost.computeSeconds + cost.publishSeconds)
+		c.Advance(cost.computeSeconds + cost.publishSeconds + cost.compressSeconds)
 	}
 	sg.mu.Lock()
 	defer sg.mu.Unlock()
@@ -379,7 +502,14 @@ func (sg *SyncGroup) commit(cost syncCost, stats MergeStats, c *simnet.Clock) in
 	sg.stats.WireBytes += cost.wireBytes
 	sg.stats.ComputeSeconds += cost.computeSeconds
 	sg.stats.PublishSeconds += cost.publishSeconds
-	return int64(sg.stats.Syncs)
+	sg.stats.CompressSeconds += cost.compressSeconds
+	sg.stats.DeltaSavedBytes += cost.deltaSaved
+	sg.stats.CompressSavedBytes += cost.compressSaved
+	gen := int64(sg.stats.Syncs)
+	if cost.tracking != nil {
+		sg.applyTrackingLocked(cost.tracking, gen)
+	}
+	return gen
 }
 
 // Stats returns the cumulative sync count, the cumulative per-sync payload

@@ -245,6 +245,20 @@ type Stats struct {
 	SyncComputeSeconds float64
 	SyncPublishSeconds float64
 
+	// Fleet-scale sync fields, populated by Cluster. SyncTopology names the
+	// collective pricing the sync fabric ("flat", "ring", "tree");
+	// SyncWireBytes is the traffic the simulated collective actually moves
+	// (≥ SyncBytes for more than one replica — gather fan-in plus merged
+	// broadcast). SyncDeltaSavedBytes is wire volume avoided by delta syncs,
+	// SyncCompressSavedBytes the volume avoided by payload compression, and
+	// SyncCompressSeconds the modeled cpu time that compression cost (also
+	// included in SyncSeconds).
+	SyncTopology           string
+	SyncWireBytes          int64
+	SyncDeltaSavedBytes    int64
+	SyncCompressSavedBytes int64
+	SyncCompressSeconds    float64
+
 	// Elastic-fleet fields, populated by a Cluster whose membership changed
 	// at runtime (zero for a single System and for a static fleet). The
 	// counters cover the whole run, including members that have since

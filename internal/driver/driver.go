@@ -212,6 +212,12 @@ type Report struct {
 	SyncStallSeconds   float64
 	SyncComputeSeconds float64
 	SyncPublishSeconds float64
+	// SyncWireBytes is the traffic the simulated sync collective moved during
+	// the drive (after delta/compression savings); SyncCompressSeconds is the
+	// modeled cpu time payload compression cost (also inside
+	// SyncStallSeconds). Both zero for a single System.
+	SyncWireBytes       int64
+	SyncCompressSeconds float64
 
 	Cancelled bool // context cancelled before all requests were served
 
@@ -618,5 +624,7 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 	rep.SyncStallSeconds = rep.Final.SyncSeconds
 	rep.SyncComputeSeconds = rep.Final.SyncComputeSeconds
 	rep.SyncPublishSeconds = rep.Final.SyncPublishSeconds
+	rep.SyncWireBytes = rep.Final.SyncWireBytes
+	rep.SyncCompressSeconds = rep.Final.SyncCompressSeconds
 	return rep, driveErr
 }

@@ -78,6 +78,16 @@ type Options struct {
 	// fleet-serving experiments (syncpipe, elastic); 0 or 1 drives unbatched.
 	// Virtual-time columns are batch-invariant; wall-clock throughput is not.
 	Batch int
+
+	// Topology restricts the syncscale experiment to one collective
+	// topology ("flat", "ring", "tree"); empty sweeps all three.
+	Topology string
+
+	// Delta enables delta sync billing in the fleet-serving experiments;
+	// Compress sets their flate level (0 off, 1–9). Both are cost knobs:
+	// virtual-state columns are invariant to them.
+	Delta    bool
+	Compress int
 }
 
 // Runner executes one experiment.
@@ -106,9 +116,10 @@ func Registry() map[string]Runner {
 		"table3": Table3,
 
 		// Beyond the paper: serving-stack experiments.
-		"syncpipe": Syncpipe,
-		"elastic":  Elastic,
-		"wire":     Wire,
+		"syncpipe":  Syncpipe,
+		"elastic":   Elastic,
+		"wire":      Wire,
+		"syncscale": SyncScale,
 	}
 }
 
@@ -117,7 +128,7 @@ func IDs() []string {
 	return []string{
 		"table2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig14", "table3", "fig15", "fig16",
-		"fig17", "fig18", "fig19", "syncpipe", "elastic", "wire",
+		"fig17", "fig18", "fig19", "syncpipe", "elastic", "wire", "syncscale",
 	}
 }
 

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"liveupdate/internal/collective"
+)
+
+// TestSyncScaleTreeWireBytes is the CI smoke gate: at a 256-member fleet
+// and a fixed seed, the tree collective must move less than 10% of flat's
+// wire bytes while merging the bit-identical state.
+func TestSyncScaleTreeWireBytes(t *testing.T) {
+	const seed, n = 7, 256
+	flat, err := runSyncScaleCell(seed, n, ssConfig{label: "flat", kind: collective.TopologyFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := runSyncScaleCell(seed, n, ssConfig{label: "tree", kind: collective.TopologyTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.fp != flat.fp {
+		t.Fatalf("merged state diverged: flat %016x, tree %016x", flat.fp, tree.fp)
+	}
+	if ratio := float64(tree.stats.WireBytes) / float64(flat.stats.WireBytes); ratio >= 0.10 {
+		t.Fatalf("tree wire bytes %d are %.1f%% of flat's %d, want < 10%%",
+			tree.stats.WireBytes, ratio*100, flat.stats.WireBytes)
+	}
+	if tree.stats.Seconds() >= flat.stats.Seconds() {
+		t.Fatalf("tree sync seconds %v must undercut flat %v at n=%d",
+			tree.stats.Seconds(), flat.stats.Seconds(), n)
+	}
+}
+
+// TestSyncScaleDeterministic pins the cell to its seed: the experiment's
+// cross-config equivalence check is only meaningful if a config rerun under
+// the same seed reproduces the same state and the same bill.
+func TestSyncScaleDeterministic(t *testing.T) {
+	cfg := ssConfig{label: "tree+dz", kind: collective.TopologyTree, delta: true, compress: 6}
+	a, err := runSyncScaleCell(7, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSyncScaleCell(7, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.fp != b.fp || a.stats != b.stats {
+		t.Fatalf("rerun diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSyncScaleReport(t *testing.T) {
+	rep := run(t, "syncscale")
+	// Quick mode: 4 configs × 4 fleet sizes.
+	if len(rep.Rows) != 16 {
+		t.Fatalf("got %d rows, want 16", len(rep.Rows))
+	}
+	// The state column is identical down each fleet-size block.
+	state := map[string]string{}
+	for _, row := range rep.Rows {
+		n, fp := row[1], row[len(row)-1]
+		if prev, ok := state[n]; ok && prev != fp {
+			t.Fatalf("state fingerprint differs at n=%s: %s vs %s", n, prev, fp)
+		}
+		state[n] = fp
+	}
+	// The delta+compressed variant reports savings at every fleet size.
+	for _, row := range rep.Rows {
+		if row[0] == "tree+dz" && row[5] == "0.00" {
+			t.Fatalf("tree+dz at n=%s reports no savings", row[1])
+		}
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"liveupdate/internal/cluster"
+	"liveupdate/internal/collective"
 	"liveupdate/internal/core"
 	"liveupdate/internal/driver"
 	"liveupdate/internal/experiments"
@@ -67,7 +68,7 @@ import (
 )
 
 // Version identifies this reproduction release.
-const Version = "2.3.0"
+const Version = "2.4.0"
 
 // Server is the unified serving abstraction: one request in, a scored
 // response out, plus a consistent statistics snapshot. Both the single-node
@@ -202,6 +203,27 @@ const (
 // SyncModes lists the supported sync modes, default first.
 func SyncModes() []SyncMode { return cluster.SyncModes() }
 
+// SyncTopology names the collective topology pricing fleet syncs.
+type SyncTopology = collective.Kind
+
+// The sync collective topologies. The merged state is bit-identical under
+// every topology (and with delta sync on or off); only the simulated cost —
+// wire bytes and virtual seconds — changes.
+const (
+	// SyncTopologyFlat (the default) is the original recursive-doubling
+	// AllGather: log-depth, but quadratic fleet-wide wire volume.
+	SyncTopologyFlat = collective.TopologyFlat
+	// SyncTopologyRing pipelines chunked partial merges around a ring:
+	// bandwidth-optimal (linear wire volume) at n−1 hops of latency.
+	SyncTopologyRing = collective.TopologyRing
+	// SyncTopologyTree is a binomial reduce + broadcast: log-depth and
+	// linear wire volume — the fleet-scale choice.
+	SyncTopologyTree = collective.TopologyTree
+)
+
+// SyncTopologies lists the supported sync topologies, default first.
+func SyncTopologies() []SyncTopology { return collective.Topologies() }
+
 // Profile describes a dataset/workload (paper Table II).
 type Profile = trace.Profile
 
@@ -249,6 +271,9 @@ type config struct {
 	router    RouterPolicy
 	syncEvery time.Duration
 	syncMode  SyncMode
+	topology  SyncTopology
+	deltaSync bool
+	compress  int
 	chaos     ChaosSchedule
 	legacy    *core.Options
 	overrides []func(*core.Options)
@@ -326,6 +351,49 @@ func WithSyncMode(m SyncMode) Option {
 			return err
 		}
 		c.syncMode = mode
+		return nil
+	})
+}
+
+// WithSyncTopology selects the collective topology pricing fleet syncs:
+// SyncTopologyFlat (the default recursive-doubling AllGather),
+// SyncTopologyRing, or SyncTopologyTree. Topology changes only the sync
+// bill — wire bytes and virtual seconds — never the merged state, so every
+// virtual-time statistic other than the sync cost columns is unchanged. It
+// has no effect on a single-node Server.
+func WithSyncTopology(t SyncTopology) Option {
+	return optionFunc(func(c *config) error {
+		if _, err := collective.ParseTopology(t); err != nil {
+			return fmt.Errorf("liveupdate: WithSyncTopology: %w", err)
+		}
+		c.topology = t
+		return nil
+	})
+}
+
+// WithDeltaSync enables delta sync billing: each sync ships only rows whose
+// generation changed since the peer's last acknowledged sync, and skips
+// shared factors the receivers already hold. Pure cost accounting — the
+// merged state stays bit-identical to full sync; SyncDeltaSavedBytes in
+// Stats reports the avoided wire volume. It has no effect on a single-node
+// Server.
+func WithDeltaSync(enabled bool) Option {
+	return optionFunc(func(c *config) error {
+		c.deltaSync = enabled
+		return nil
+	})
+}
+
+// WithCompression prices flate compression of sync payloads: level 0 (the
+// default) disables it, 1 (fastest) … 9 (best ratio) trade modeled cpu
+// seconds (SyncCompressSeconds) for wire bytes (SyncCompressSavedBytes). It
+// has no effect on a single-node Server.
+func WithCompression(level int) Option {
+	return optionFunc(func(c *config) error {
+		if level < 0 || level > 9 {
+			return fmt.Errorf("liveupdate: WithCompression(%d): level out of range [0,9]", level)
+		}
+		c.compress = level
 		return nil
 	})
 }
@@ -542,12 +610,15 @@ func New(opts ...Option) (Server, error) {
 			return nil, err
 		}
 		cl, err := cluster.New(cluster.Config{
-			Base:      base,
-			Replicas:  c.replicas,
-			Router:    router,
-			SyncEvery: c.syncEvery,
-			Mode:      c.syncMode,
-			Chaos:     c.chaos,
+			Base:        base,
+			Replicas:    c.replicas,
+			Router:      router,
+			SyncEvery:   c.syncEvery,
+			Mode:        c.syncMode,
+			Topology:    c.topology,
+			DeltaSync:   c.deltaSync,
+			Compression: c.compress,
+			Chaos:       c.chaos,
 		})
 		if err != nil {
 			return nil, err
@@ -725,6 +796,13 @@ type ExperimentConfig struct {
 	// BatchSize sets the load driver's lane-coalescing batch size for the
 	// fleet-serving experiments (syncpipe, elastic); 0 or 1 drives unbatched.
 	BatchSize int
+	// Topology restricts the syncscale experiment to one collective
+	// topology ("flat", "ring", "tree"); the zero value sweeps all three.
+	Topology SyncTopology
+	// DeltaSync enables delta sync billing in the fleet-serving experiments.
+	DeltaSync bool
+	// Compression sets the fleet-serving experiments' flate level (0–9).
+	Compression int
 }
 
 // RunExperiment regenerates one paper table/figure and returns its printable
@@ -746,6 +824,9 @@ func RunExperimentWith(id string, cfg ExperimentConfig) (string, error) {
 		SyncMode: string(cfg.SyncMode),
 		Chaos:    cfg.ChaosScript,
 		Batch:    cfg.BatchSize,
+		Topology: string(cfg.Topology),
+		Delta:    cfg.DeltaSync,
+		Compress: cfg.Compression,
 	})
 	if err != nil {
 		return "", err

@@ -185,10 +185,10 @@ func TestRunExperimentUnknownIDError(t *testing.T) {
 
 func TestExperimentIDsStable(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 21 {
-		t.Fatalf("expected 21 experiments, got %d", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("expected 22 experiments, got %d", len(ids))
 	}
-	for _, want := range []string{"fig14", "table3", "fig16", "fig19", "elastic", "wire"} {
+	for _, want := range []string{"fig14", "table3", "fig16", "fig19", "elastic", "wire", "syncscale"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
