@@ -227,6 +227,67 @@ func BenchmarkClusterServeBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterServeBatchedNoAlloc measures the batched cluster serving
+// fast path in isolation: pre-routed same-shard batches served through
+// ServeShardBatch into a caller-owned response slice, with the sync cadence
+// long enough that no epoch fires mid-run and training disabled — like
+// BenchmarkServeRequestNoAlloc, this gates the scoring path, not the train
+// tail (whose adaptive LoRA lifecycle allocates by design when Algorithm 1
+// prunes and re-materializes rows). After warmup (batch-scratch pool, the
+// pooled probs buffer) it performs zero heap allocations per batch — CI's
+// alloc-gate step fails the build if allocs/op ever reads above 0.
+func BenchmarkClusterServeBatchedNoAlloc(b *testing.B) {
+	p := benchServingProfile()
+	srv, err := New(
+		WithProfile(p),
+		WithSeed(1),
+		WithReplicas(4),
+		WithRouter(HashRouter),
+		WithSyncEvery(30*time.Second),
+		WithTraining(false),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := NewWorkload(p, 2)
+	cl := srv.(*Cluster)
+	const batch = 16
+	// A hash router maps a fixed sample set to fixed shards; bucket warmup
+	// samples per shard so each measured batch is one same-shard run.
+	byShard := make(map[int][]Sample)
+	for i := 0; i < 1024; i++ {
+		s := gen.Next()
+		shard := cl.ShardOf(s)
+		byShard[shard] = append(byShard[shard], s)
+	}
+	var batches [][]Sample
+	var shards []int
+	for shard, ss := range byShard {
+		for len(ss) >= batch {
+			batches = append(batches, ss[:batch])
+			shards = append(shards, shard)
+			ss = ss[batch:]
+		}
+	}
+	if len(batches) == 0 {
+		b.Fatal("no full same-shard batches")
+	}
+	resps := make([]Response, batch)
+	// Warm every replica's pools and LoRA state.
+	for i := 0; i < 4*len(batches); i++ {
+		if err := cl.ServeShardBatch(shards[i%len(shards)], batches[i%len(batches)], resps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.ServeShardBatch(shards[i%len(shards)], batches[i%len(batches)], resps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSyncFleet builds a 4-replica hash-routed fleet with an aggressive
 // periodic sync cadence (every 100ms of virtual time → a sync every few
 // hundred requests) in the given propagation mode, so sync handling is a

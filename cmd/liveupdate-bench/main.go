@@ -45,6 +45,8 @@ func main() {
 		fmt.Sprintf("restrict the syncscale experiment to one sync collective topology %v; empty sweeps all", liveupdate.SyncTopologies()))
 	delta := flag.Bool("delta", false, "bill delta syncs (only changed rows/factors) in the fleet-serving experiments")
 	compress := flag.Int("compress", 0, "flate level for sync payload pricing in the fleet-serving experiments (0 = off, 1-9)")
+	quant := flag.String("quant", "",
+		fmt.Sprintf("restrict the kernels experiment's AUC gate to one quantized mode %v (empty gates all quantized modes)", liveupdate.Quantizations()))
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
 	flag.Parse()
@@ -96,6 +98,9 @@ func main() {
 	}
 	if *compress < 0 || *compress > 9 {
 		usagef("-compress must be in [0,9], got %d", *compress)
+	}
+	if _, err := liveupdate.ParseQuantization(*quant); err != nil {
+		usagef("-quant must be one of %v, got %q", liveupdate.Quantizations(), *quant)
 	}
 	// Profiling brackets the experiment runs themselves; stopProfiles is
 	// called explicitly (not deferred) right after the experiments finish, so
@@ -186,14 +191,15 @@ func main() {
 			defer func() { <-sem }()
 			start := time.Now()
 			out, err := liveupdate.RunExperimentWith(id, liveupdate.ExperimentConfig{
-				Seed:        *seed,
-				Quick:       *quick,
-				SyncMode:    liveupdate.SyncMode(*syncMode),
-				ChaosScript: *chaosScript,
-				BatchSize:   *batch,
-				Topology:    liveupdate.SyncTopology(*topology),
-				DeltaSync:   *delta,
-				Compression: *compress,
+				Seed:         *seed,
+				Quick:        *quick,
+				SyncMode:     liveupdate.SyncMode(*syncMode),
+				ChaosScript:  *chaosScript,
+				BatchSize:    *batch,
+				Topology:     liveupdate.SyncTopology(*topology),
+				DeltaSync:    *delta,
+				Compression:  *compress,
+				Quantization: liveupdate.Quantization(*quant),
 			})
 			results[i] = result{out: out, seconds: time.Since(start).Seconds(), err: err}
 		}(i, id)

@@ -52,6 +52,8 @@ func main() {
 		"bill delta syncs: only rows/factors whose epoch changed since the peer's last acked generation count against the wire")
 	compress := flag.Int("compress", 0,
 		"flate level for sync payload pricing: trades compress cpu-seconds for wire-bytes (0 = off, 1-9)")
+	quant := flag.String("quant", "",
+		fmt.Sprintf("published inference weight format %v: int8/f16 quantize the dense MLPs at publish time, training stays float64", liveupdate.Quantizations()))
 	noTrain := flag.Bool("no-train", false, "disable the co-located trainer (Only-Infer mode)")
 	noIsolation := flag.Bool("no-isolation", false, "disable NUMA scheduling and reuse (naive co-location)")
 	concurrency := flag.Int("concurrency", 1,
@@ -123,6 +125,9 @@ func main() {
 	if *compress < 0 || *compress > 9 {
 		usagef("-compress must be in [0,9], got %d", *compress)
 	}
+	if _, err := liveupdate.ParseQuantization(*quant); err != nil {
+		usagef("-quant must be one of %v, got %q", liveupdate.Quantizations(), *quant)
+	}
 
 	var chaos liveupdate.ChaosSchedule
 	if *chaosScript != "" {
@@ -164,6 +169,7 @@ func main() {
 		liveupdate.WithCompression(*compress),
 		liveupdate.WithTraining(!*noTrain),
 		liveupdate.WithIsolation(!*noIsolation),
+		liveupdate.WithQuantization(liveupdate.Quantization(*quant)),
 	}
 	if len(chaos) > 0 {
 		opts = append(opts, liveupdate.WithChaos(chaos))

@@ -46,6 +46,13 @@ type Options struct {
 	// ServeShardBatch call. 0 or 1 means unbatched. It is a driving hint
 	// (picked up via DefaultBatchSize), not a serving-path requirement.
 	BatchSize int
+
+	// Quantization selects the published inference weight format for the
+	// dense MLPs: "" or "none" (float64), "int8" (per-row symmetric scales,
+	// int32 dot products), or "f16" (f16-style truncated weights). Training
+	// always runs in float64; quantization changes served probabilities
+	// only, never virtual-time statistics (see dlrm.QuantMode).
+	Quantization string
 }
 
 // DefaultOptions returns the full system configuration for a profile.
@@ -75,6 +82,9 @@ func (o Options) Validate() error {
 	}
 	if o.BatchSize < 0 {
 		return fmt.Errorf("core: BatchSize must be non-negative")
+	}
+	if _, err := dlrm.ParseQuantMode(o.Quantization); err != nil {
+		return err
 	}
 	if o.EnableTraining {
 		if o.TrainBatch <= 0 {
@@ -128,7 +138,8 @@ type System struct {
 
 	mu         sync.Mutex // guards all mutable state below and inside Node/Machine/LoRA
 	trainRNG   *tensor.RNG
-	trainBuf   []trace.Sample // reusable mini-batch buffer for trainTick
+	trainBuf   []trace.Sample    // reusable mini-batch buffer for trainTick
+	trainCache dlrm.ForwardCache // reusable forward/backward buffers for trainTick
 	sinceTrain int
 	trainSteps uint64
 	fullSyncs  uint64
@@ -154,6 +165,9 @@ func New(opts Options) (*System, error) {
 	rng := tensor.NewRNG(opts.Seed ^ 0xc0de)
 	model, err := dlrm.NewModel(dlrm.ConfigForProfile(opts.Profile), rng)
 	if err != nil {
+		return nil, err
+	}
+	if err := model.SetQuantization(dlrm.QuantMode(opts.Quantization)); err != nil {
 		return nil, err
 	}
 	base := emt.NewGroup(opts.Profile.NumTables, opts.Profile.TableSize,
@@ -322,8 +336,10 @@ func (s *System) Serve(sample trace.Sample) (Response, error) {
 }
 
 // ServeBatch serves samples in order on this node — the batch-amortized fast
-// path: all forwards run first through ONE shared scratch (lock-free, zero
-// allocations), then one mutex acquisition covers every request's bookkeeping
+// path: all forwards run first through the model's batched GEMM path (one
+// matrix multiply per MLP layer for the whole batch, zero allocations,
+// bit-identical to per-sample forwards), then one mutex acquisition covers
+// every request's bookkeeping
 // tail, each with its own memory charges, ring push, clock advance, and
 // training trigger at exactly the per-request cadence. Virtual-time
 // statistics are therefore identical to a loop over Serve; only the adapter
@@ -344,13 +360,20 @@ func (s *System) ServeBatch(samples []trace.Sample, resps []Response) error {
 	if len(samples) == 0 {
 		return nil
 	}
-	s.paramMu.RLock()
-	sc := s.Model.AcquireScratch()
-	for i := range samples {
-		resps[i] = Response{Prob: s.Node.PredictWith(samples[i], sc)}
+	pb := batchProbsPool.Get().(*[]float64)
+	probs := *pb
+	if cap(probs) < len(samples) {
+		probs = make([]float64, len(samples))
 	}
-	s.Model.ReleaseScratch(sc)
+	probs = probs[:len(samples)]
+	s.paramMu.RLock()
+	s.Node.PredictBatch(samples, probs)
 	s.paramMu.RUnlock()
+	for i := range samples {
+		resps[i] = Response{Prob: probs[i]}
+	}
+	*pb = probs[:0]
+	batchProbsPool.Put(pb)
 	s.mu.Lock()
 	for i := range samples {
 		resps[i].Latency = s.Node.Commit(samples[i])
@@ -359,6 +382,11 @@ func (s *System) ServeBatch(samples []trace.Sample, resps []Response) error {
 	s.mu.Unlock()
 	return nil
 }
+
+// batchProbsPool pools ServeBatch's probability buffers (pointer-to-slice so
+// Put does not allocate). Package-global: concurrent ServeBatch calls each
+// check out their own buffer.
+var batchProbsPool = sync.Pool{New: func() any { b := make([]float64, 0, 64); return &b }}
 
 // afterCommitLocked runs the post-request training trigger; callers hold s.mu.
 func (s *System) afterCommitLocked() {
@@ -502,7 +530,7 @@ func (s *System) trainTick() {
 	s.paramMu.Lock()
 	defer s.paramMu.Unlock()
 	numTables := int32(s.Opts.Profile.NumTables)
-	var cache dlrm.ForwardCache
+	cache := &s.trainCache
 	for _, sample := range batch {
 		// Charge the trainer's embedding traffic to the memory model. With
 		// reuse, reads go through the prefetched shadow table. Without it,
@@ -528,9 +556,9 @@ func (s *System) trainTick() {
 		s.Clock.Advance(memTime)
 		// LoRA-only learning: base and dense weights frozen. The cache is
 		// reused across samples: Forward overwrites every field it reads.
-		logit := s.Model.Forward(s.LoRA, sample.Dense, sample.Sparse, &cache)
+		logit := s.Model.Forward(s.LoRA, sample.Dense, sample.Sparse, cache)
 		dLogit := dlrm.Sigmoid(logit) - float64(sample.Label)
-		dEmb := s.Model.Backward(dLogit, &cache)
+		dEmb := s.Model.Backward(dLogit, cache)
 		s.Model.Bottom.ZeroGrad()
 		s.Model.Top.ZeroGrad()
 		for t, g := range dEmb {

@@ -44,42 +44,75 @@ func NewLayer(rng *tensor.RNG, in, out int, relu bool) *Layer {
 // serving loop reusing one scratch buffer — between Forward and Backward
 // without corrupting backpropagation.
 func (l *Layer) Forward(x []float64, cache *LayerCache) []float64 {
-	pre := tensor.MatVec(l.W, x)
+	var pre []float64
+	if cache != nil {
+		cache.Pre = growFloats(cache.Pre, l.Out())
+		pre = cache.Pre
+	} else {
+		pre = make([]float64, l.Out())
+	}
+	tensor.MatVecInto(pre, l.W, x)
 	for i := range pre {
 		pre[i] += l.B[i]
 	}
 	out := pre
 	if l.ReLU {
-		out = make([]float64, len(pre))
+		if cache != nil {
+			cache.out = growFloats(cache.out, l.Out())
+			out = cache.out
+		} else {
+			out = make([]float64, len(pre))
+		}
 		for i, v := range pre {
 			if v > 0 {
 				out[i] = v
+			} else {
+				out[i] = 0
 			}
 		}
 	}
 	if cache != nil {
 		cache.Input = append(cache.Input[:0], x...)
-		cache.Pre = pre
 	}
 	return out
 }
 
-// LayerCache holds per-sample forward state for backpropagation. Input is an
-// owned copy of the forward input (never an alias of the caller's buffer).
+// growFloats returns buf resized to n, reusing its backing array when the
+// capacity allows. Contents are unspecified; callers overwrite fully.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// LayerCache holds per-sample forward state for backpropagation, plus the
+// layer's reusable forward/backward buffers: a cache that lives across train
+// ticks makes Forward and Backward allocation-free after the first batch.
+// Input is an owned copy of the forward input (never an alias of the caller's
+// buffer).
 type LayerCache struct {
 	Input []float64
 	Pre   []float64
+
+	out  []float64 // post-ReLU output (aliased by Forward's return value)
+	dPre []float64 // backward scratch: gradient w.r.t. pre-activation
+	dIn  []float64 // backward scratch: gradient w.r.t. input (returned)
 }
 
 // Backward accumulates gradients for dOut (gradient w.r.t. the layer output)
-// and returns the gradient w.r.t. the layer input.
+// and returns the gradient w.r.t. the layer input. The returned slice aliases
+// the cache's scratch and is valid until the cache's next Backward.
 func (l *Layer) Backward(dOut []float64, cache *LayerCache) []float64 {
 	dPre := dOut
 	if l.ReLU {
-		dPre = make([]float64, len(dOut))
+		cache.dPre = growFloats(cache.dPre, len(dOut))
+		dPre = cache.dPre
 		for i, v := range dOut {
 			if cache.Pre[i] > 0 {
 				dPre[i] = v
+			} else {
+				dPre[i] = 0
 			}
 		}
 	}
@@ -94,7 +127,11 @@ func (l *Layer) Backward(dOut []float64, cache *LayerCache) []float64 {
 		}
 		l.gradB[o] += dp
 	}
-	dIn := make([]float64, len(in))
+	cache.dIn = growFloats(cache.dIn, len(in))
+	dIn := cache.dIn
+	for i := range dIn {
+		dIn[i] = 0
+	}
 	for o, dp := range dPre {
 		if dp == 0 {
 			continue
@@ -164,15 +201,79 @@ func (m *MLP) Forward(x []float64, cache *MLPCache) []float64 {
 // Model.ForwardScratch for the ownership rules.
 type MLPScratch struct {
 	acts [][]float64
+	qx   []int8 // per-layer activation quantization buffer (int8 path)
 }
 
-// NewScratch allocates an inference scratch sized for this MLP.
+// NewScratch allocates an inference scratch sized for this MLP. The scratch
+// also carries the int8 activation buffer, so the same scratch drives both
+// the float and quantized inference paths.
 func (m *MLP) NewScratch() *MLPScratch {
 	s := &MLPScratch{acts: make([][]float64, len(m.Layers))}
+	maxIn := 0
 	for i, l := range m.Layers {
 		s.acts[i] = make([]float64, l.Out())
+		if l.In() > maxIn {
+			maxIn = l.In()
+		}
+	}
+	s.qx = make([]int8, maxIn)
+	return s
+}
+
+// MLPBatchScratch holds one activation matrix per layer (capacity rows ×
+// layer width) for batched inference, plus a per-row scratch for inference
+// paths that cannot be expressed as a GEMM (the quantized kernel quantizes
+// each activation row individually). One batch scratch serves one
+// InferBatchInto call at a time.
+type MLPBatchScratch struct {
+	maxB int
+	acts []tensor.Matrix
+	row  *MLPScratch
+}
+
+// NewBatchScratch allocates a batch scratch for up to maxB samples.
+func (m *MLP) NewBatchScratch(maxB int) *MLPBatchScratch {
+	if maxB < 1 {
+		maxB = 1
+	}
+	s := &MLPBatchScratch{
+		maxB: maxB,
+		acts: make([]tensor.Matrix, len(m.Layers)),
+		row:  m.NewScratch(),
+	}
+	for i, l := range m.Layers {
+		s.acts[i] = tensor.Matrix{Rows: maxB, Cols: l.Out(), Data: make([]float64, maxB*l.Out())}
 	}
 	return s
+}
+
+// InferBatchInto runs x.Rows samples (one per row) through the stack with one
+// GEMM per layer instead of a matvec per sample: each layer computes
+// X·Wᵀ + b via MatMulTransInto into its scratch matrix. Per output element
+// the GEMM accumulates columns in the same order as MatVecInto, so batched
+// results are bit-identical to per-sample InferInto. The returned matrix
+// aliases scratch storage, valid until the scratch's next use.
+func (m *MLP) InferBatchInto(x *tensor.Matrix, s *MLPBatchScratch) *tensor.Matrix {
+	if x.Rows > s.maxB {
+		panic(fmt.Sprintf("dlrm: batch %d exceeds scratch capacity %d", x.Rows, s.maxB))
+	}
+	out := x
+	for i, l := range m.Layers {
+		act := &s.acts[i]
+		act.Rows = x.Rows
+		tensor.MatMulTransInto(act, out, l.W)
+		for r := 0; r < act.Rows; r++ {
+			row := act.Row(r)
+			for j := range row {
+				row[j] += l.B[j]
+			}
+			if l.ReLU {
+				tensor.ReLUInPlace(row)
+			}
+		}
+		out = act
+	}
+	return out
 }
 
 // InferInto runs the stack through the scratch's per-layer buffers with zero

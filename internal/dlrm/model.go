@@ -3,6 +3,7 @@ package dlrm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"liveupdate/internal/emt"
 	"liveupdate/internal/tensor"
@@ -49,6 +50,8 @@ func (b *BaseEmbeddings) Lookup(table int, ids []int32, dst []float64) {
 
 // ApplyGrad implements EmbeddingSource: the pooled gradient is scattered
 // back to each contributing row scaled by 1/len(ids) (mean-pool Jacobian).
+// The scatter is a single SPMM-style ScatterAdd touching only the
+// mini-batch's rows — one version bump per call instead of one per row.
 func (b *BaseEmbeddings) ApplyGrad(table int, ids []int32, grad []float64, lr float64) {
 	if len(ids) == 0 {
 		return
@@ -62,9 +65,7 @@ func (b *BaseEmbeddings) ApplyGrad(table int, ids []int32, grad []float64, lr fl
 	for i, g := range grad {
 		delta[i] = scale * g
 	}
-	for _, id := range ids {
-		t.ApplyRowDelta(id, delta)
-	}
+	t.ScatterAdd(ids, delta)
 }
 
 // Config describes a DLRM architecture.
@@ -108,6 +109,68 @@ type Model struct {
 	// fast path. Acquire/Release cycle through it; Predict itself is safe for
 	// concurrent callers because every call checks out its own scratch.
 	scratch sync.Pool
+
+	// batch pools BatchScratch values for the PredictBatch GEMM path.
+	batch sync.Pool
+
+	// qmode selects the published inference weight format; quant holds the
+	// current read-only snapshot (nil when qmode is QuantNone). The snapshot
+	// is rebuilt wherever the dense weights change wholesale (SetQuantization,
+	// CopyWeightsFrom) — training never mutates it in place, so readers load
+	// the pointer once per forward pass and need no lock.
+	qmode QuantMode
+	quant atomic.Pointer[quantModel]
+}
+
+// quantModel is one published snapshot of both MLPs in the active format.
+type quantModel struct {
+	bottom inferencer
+	top    inferencer
+}
+
+// QuantMode returns the model's published inference weight format.
+func (m *Model) QuantMode() QuantMode {
+	if m.qmode == "" {
+		return QuantNone
+	}
+	return m.qmode
+}
+
+// SetQuantization switches the published inference weight format and, for
+// int8/f16, builds the snapshot. Callers must hold whatever lock serializes
+// weight mutation (core holds paramMu); concurrent Predicts see either the
+// old or the new snapshot atomically. Training is unaffected: gradients
+// always flow through the float64 weights.
+func (m *Model) SetQuantization(mode QuantMode) error {
+	q, err := ParseQuantMode(string(mode))
+	if err != nil {
+		return err
+	}
+	m.qmode = q
+	m.refreshQuant()
+	return nil
+}
+
+// refreshQuant rebuilds the published snapshot from the current float64
+// weights. Called under the weight-mutation lock.
+func (m *Model) refreshQuant() {
+	switch m.qmode {
+	case QuantInt8:
+		m.quant.Store(&quantModel{bottom: m.Bottom.Quantize(), top: m.Top.Quantize()})
+	case QuantF16:
+		m.quant.Store(&quantModel{bottom: m.Bottom.TruncateF16(), top: m.Top.TruncateF16()})
+	default:
+		m.quant.Store(nil)
+	}
+}
+
+// inferencers returns the published (bottom, top) inference snapshot — the
+// quantized one when active, the float64 MLPs otherwise.
+func (m *Model) inferencers() (inferencer, inferencer) {
+	if qm := m.quant.Load(); qm != nil {
+		return qm.bottom, qm.top
+	}
+	return m.Bottom, m.Top
 }
 
 // NewModel builds a model for cfg with Xavier initialization from rng.
@@ -136,12 +199,22 @@ func MustNewModel(cfg Config, rng *tensor.RNG) *Model {
 	return m
 }
 
-// ForwardCache retains the state of one forward pass for Backward.
+// ForwardCache retains the state of one forward pass for Backward, plus the
+// reusable buffers of the training path: a cache that lives across samples
+// (TrainStepWith, the core train tick) makes Forward/Backward allocation-free
+// after the first sample.
 type ForwardCache struct {
 	bottom   MLPCache
 	top      MLPCache
 	features [][]float64 // f_0 = bottom output, f_1.. = pooled embeddings
 	sparse   [][]int32
+
+	embBuf   []float64 // backing store for features[1..T]
+	topIn    []float64
+	dLogit   [1]float64
+	dZ       []float64
+	dFeatBuf []float64   // backing store for dFeatures
+	dFeats   [][]float64 // per-feature gradient rows, reused across Backwards
 }
 
 // Forward computes the click logit for one example. When cache is non-nil it
@@ -160,28 +233,45 @@ func (m *Model) Forward(src EmbeddingSource, dense []float64, sparse [][]int32, 
 	}
 	z := m.Bottom.Forward(dense, bc)
 
-	features := make([][]float64, cfg.NumTables+1)
-	features[0] = z
-	for t := 0; t < cfg.NumTables; t++ {
-		e := make([]float64, cfg.EmbeddingDim)
-		src.Lookup(t, sparse[t], e)
-		features[t+1] = e
-	}
-
-	inter := make([]float64, 0, cfg.InteractionCount())
-	for i := 0; i < len(features); i++ {
-		for j := i + 1; j < len(features); j++ {
-			inter = append(inter, tensor.Dot(features[i], features[j]))
+	d := cfg.EmbeddingDim
+	var features [][]float64
+	if cache != nil {
+		if len(cache.features) != cfg.NumTables+1 {
+			cache.features = make([][]float64, cfg.NumTables+1)
+			cache.embBuf = make([]float64, cfg.NumTables*d)
+			for t := 0; t < cfg.NumTables; t++ {
+				cache.features[t+1] = cache.embBuf[t*d : (t+1)*d]
+			}
+		}
+		features = cache.features
+	} else {
+		features = make([][]float64, cfg.NumTables+1)
+		for t := 0; t < cfg.NumTables; t++ {
+			features[t+1] = make([]float64, d)
 		}
 	}
-	topIn := make([]float64, 0, cfg.EmbeddingDim+len(inter))
+	features[0] = z
+	for t := 0; t < cfg.NumTables; t++ {
+		src.Lookup(t, sparse[t], features[t+1])
+	}
+
+	var topIn []float64
+	if cache != nil {
+		topIn = cache.topIn[:0]
+	} else {
+		topIn = make([]float64, 0, d+cfg.InteractionCount())
+	}
 	topIn = append(topIn, z...)
-	topIn = append(topIn, inter...)
+	for i := 0; i < len(features); i++ {
+		for j := i + 1; j < len(features); j++ {
+			topIn = append(topIn, tensor.Dot(features[i], features[j]))
+		}
+	}
 
 	var tc *MLPCache
 	if cache != nil {
 		tc = &cache.top
-		cache.features = features
+		cache.topIn = topIn
 		cache.sparse = sparse
 	}
 	out := m.Top.Forward(topIn, tc)
@@ -253,7 +343,8 @@ func (m *Model) forwardInto(src EmbeddingSource, dense []float64, sparse [][]int
 	if len(sparse) != cfg.NumTables {
 		panic(fmt.Sprintf("dlrm: sparse tables %d != %d", len(sparse), cfg.NumTables))
 	}
-	z := m.Bottom.InferInto(dense, sc.bottom)
+	bottom, top := m.inferencers()
+	z := bottom.InferInto(dense, sc.bottom)
 	sc.features[0] = z
 	for t := 0; t < cfg.NumTables; t++ {
 		src.Lookup(t, sparse[t], sc.features[t+1])
@@ -265,7 +356,7 @@ func (m *Model) forwardInto(src EmbeddingSource, dense []float64, sparse [][]int
 			topIn = append(topIn, tensor.Dot(features[i], features[j]))
 		}
 	}
-	out := m.Top.InferInto(topIn, sc.top)
+	out := top.InferInto(topIn, sc.top)
 	return out[0]
 }
 
@@ -286,37 +377,161 @@ func (m *Model) PredictWith(src EmbeddingSource, dense []float64, sparse [][]int
 	return Sigmoid(m.forwardInto(src, dense, sparse, sc))
 }
 
-// PredictBatch scores len(out) examples through one scratch, writing click
-// probabilities into out. dense, sparse, and out must have equal lengths; a
-// nil sc acquires (and releases) a pooled scratch for the whole batch.
+// BatchScratch owns every buffer one batched inference pass touches: the
+// packed dense input matrix, per-layer batch activations for both MLPs, the
+// per-sample embedding gather rows, and the packed top-MLP input matrix.
+// Like ForwardScratch it serves one pass at a time; Model pools them.
+type BatchScratch struct {
+	maxB   int
+	bottom *MLPBatchScratch
+	top    *MLPBatchScratch
+	denseM tensor.Matrix // maxB × NumDense packed dense features
+	topInM tensor.Matrix // maxB × (d + interactions) packed top inputs
+
+	// features[0] aliases one bottom-output row per sample; features[1..T]
+	// are the pooled embedding gather buffers, backed by embBuf and reused
+	// across the batch's samples.
+	features [][]float64
+	embBuf   []float64
+}
+
+// NewBatchScratch allocates a batch scratch for up to maxB samples.
+func (m *Model) NewBatchScratch(maxB int) *BatchScratch {
+	if maxB < 1 {
+		maxB = 1
+	}
+	cfg := m.Cfg
+	topW := cfg.EmbeddingDim + cfg.InteractionCount()
+	bs := &BatchScratch{
+		maxB:     maxB,
+		bottom:   m.Bottom.NewBatchScratch(maxB),
+		top:      m.Top.NewBatchScratch(maxB),
+		denseM:   tensor.Matrix{Rows: maxB, Cols: cfg.NumDense, Data: make([]float64, maxB*cfg.NumDense)},
+		topInM:   tensor.Matrix{Rows: maxB, Cols: topW, Data: make([]float64, maxB*topW)},
+		features: make([][]float64, cfg.NumTables+1),
+		embBuf:   make([]float64, cfg.NumTables*cfg.EmbeddingDim),
+	}
+	for t := 0; t < cfg.NumTables; t++ {
+		bs.features[t+1] = bs.embBuf[t*cfg.EmbeddingDim : (t+1)*cfg.EmbeddingDim]
+	}
+	return bs
+}
+
+// AcquireBatchScratch checks a batch scratch with capacity ≥ b out of the
+// model's pool, allocating (with capacity rounded up to a power of two) when
+// the pool is empty or its scratch is too small. Pair with
+// ReleaseBatchScratch.
+func (m *Model) AcquireBatchScratch(b int) *BatchScratch {
+	if bs, ok := m.batch.Get().(*BatchScratch); ok && bs.maxB >= b {
+		return bs
+	}
+	capB := 16
+	for capB < b {
+		capB *= 2
+	}
+	return m.NewBatchScratch(capB)
+}
+
+// ReleaseBatchScratch returns a batch scratch to the pool for reuse.
+func (m *Model) ReleaseBatchScratch(bs *BatchScratch) { m.batch.Put(bs) }
+
+// PredictBatch scores len(out) examples, writing click probabilities into
+// out. dense, sparse, and out must have equal lengths.
+//
+// With sc == nil (the fast path) the batch runs through a pooled
+// BatchScratch: the dense rows are packed into one matrix and each MLP runs
+// one GEMM over the whole batch instead of a matvec per sample. The GEMM
+// accumulates in the same order as the per-sample kernels, so results are
+// bit-identical to calling Predict in a loop (TestPredictBatch). Passing a
+// caller-owned ForwardScratch keeps the legacy per-sample loop.
 func (m *Model) PredictBatch(src EmbeddingSource, dense [][]float64, sparse [][][]int32, out []float64, sc *ForwardScratch) {
 	if len(dense) != len(out) || len(sparse) != len(out) {
 		panic(fmt.Sprintf("dlrm: PredictBatch lengths dense=%d sparse=%d out=%d",
 			len(dense), len(sparse), len(out)))
 	}
-	if sc == nil {
-		sc = m.AcquireScratch()
-		defer m.ReleaseScratch(sc)
+	if sc != nil {
+		for i := range out {
+			out[i] = Sigmoid(m.forwardInto(src, dense[i], sparse[i], sc))
+		}
+		return
 	}
+	if len(out) == 0 {
+		return
+	}
+	bs := m.AcquireBatchScratch(len(out))
+	m.predictBatchInto(src, dense, sparse, out, bs)
+	m.ReleaseBatchScratch(bs)
+}
+
+// predictBatchInto is the batched inference pass through a caller-owned
+// batch scratch: pack dense rows → one bottom GEMM → per-sample embedding
+// gather + interactions packed into the top-input matrix → one top GEMM.
+// Zero heap allocations.
+func (m *Model) predictBatchInto(src EmbeddingSource, dense [][]float64, sparse [][][]int32, out []float64, bs *BatchScratch) {
+	cfg := m.Cfg
+	b := len(out)
+	bottom, top := m.inferencers()
+
+	bs.denseM.Rows = b
+	for i, dv := range dense {
+		if len(dv) != cfg.NumDense {
+			panic(fmt.Sprintf("dlrm: dense len %d != %d", len(dv), cfg.NumDense))
+		}
+		copy(bs.denseM.Row(i), dv)
+	}
+	z := bottom.InferBatchInto(&bs.denseM, bs.bottom)
+
+	bs.topInM.Rows = b
+	features := bs.features
+	for i := 0; i < b; i++ {
+		if len(sparse[i]) != cfg.NumTables {
+			panic(fmt.Sprintf("dlrm: sparse tables %d != %d", len(sparse[i]), cfg.NumTables))
+		}
+		features[0] = z.Row(i)
+		for t := 0; t < cfg.NumTables; t++ {
+			src.Lookup(t, sparse[i][t], features[t+1])
+		}
+		row := append(bs.topInM.Row(i)[:0], features[0]...)
+		for a := 0; a < len(features); a++ {
+			for c := a + 1; c < len(features); c++ {
+				row = append(row, tensor.Dot(features[a], features[c]))
+			}
+		}
+	}
+	logits := top.InferBatchInto(&bs.topInM, bs.top)
 	for i := range out {
-		out[i] = Sigmoid(m.forwardInto(src, dense[i], sparse[i], sc))
+		out[i] = Sigmoid(logits.Row(i)[0])
 	}
 }
 
 // Backward backpropagates dLogit through the model, accumulating dense-layer
 // gradients and returning the gradient w.r.t. each table's pooled embedding.
+// The returned rows alias the cache's scratch and are valid until its next
+// Backward.
 func (m *Model) Backward(dLogit float64, cache *ForwardCache) [][]float64 {
 	cfg := m.Cfg
-	dTopIn := m.Top.Backward([]float64{dLogit}, &cache.top)
+	cache.dLogit[0] = dLogit
+	dTopIn := m.Top.Backward(cache.dLogit[:], &cache.top)
 
-	dZ := make([]float64, cfg.EmbeddingDim)
+	cache.dZ = growFloats(cache.dZ, cfg.EmbeddingDim)
+	dZ := cache.dZ
 	copy(dZ, dTopIn[:cfg.EmbeddingDim])
 	dInter := dTopIn[cfg.EmbeddingDim:]
 
 	features := cache.features
-	dFeatures := make([][]float64, len(features))
+	if len(cache.dFeats) != len(features) {
+		cache.dFeats = make([][]float64, len(features))
+		cache.dFeatBuf = make([]float64, len(features)*cfg.EmbeddingDim)
+		for i := range cache.dFeats {
+			cache.dFeats[i] = cache.dFeatBuf[i*cfg.EmbeddingDim : (i+1)*cfg.EmbeddingDim]
+		}
+	}
+	dFeatures := cache.dFeats
 	for i := range dFeatures {
-		dFeatures[i] = make([]float64, cfg.EmbeddingDim)
+		row := dFeatures[i]
+		for j := range row {
+			row[j] = 0
+		}
 	}
 	k := 0
 	for i := 0; i < len(features); i++ {
@@ -368,15 +583,20 @@ func (m *Model) InferLogit(src EmbeddingSource, dense []float64, sparse [][]int3
 	return m.forwardInto(src, dense, sparse, sc)
 }
 
-// Clone deep-copies the dense parameters.
+// Clone deep-copies the dense parameters, preserving the quantization mode
+// (the clone gets its own published snapshot).
 func (m *Model) Clone() *Model {
-	return &Model{Cfg: m.Cfg, Bottom: m.Bottom.Clone(), Top: m.Top.Clone()}
+	c := &Model{Cfg: m.Cfg, Bottom: m.Bottom.Clone(), Top: m.Top.Clone(), qmode: m.qmode}
+	c.refreshQuant()
+	return c
 }
 
-// CopyWeightsFrom overwrites dense parameters from src.
+// CopyWeightsFrom overwrites dense parameters from src and republishes the
+// quantized snapshot so served predictions pick up the new weights.
 func (m *Model) CopyWeightsFrom(src *Model) {
 	m.Bottom.CopyWeightsFrom(src.Bottom)
 	m.Top.CopyWeightsFrom(src.Top)
+	m.refreshQuant()
 }
 
 // DenseParamCount returns the number of dense trainable scalars.

@@ -1,0 +1,143 @@
+package dlrm
+
+import (
+	"fmt"
+
+	"liveupdate/internal/tensor"
+)
+
+// QuantMode selects the numeric format of the published inference weights.
+// Training always runs in float64; quantization produces a read-only snapshot
+// of the dense MLPs at publish time (model construction, weight copy-in), so
+// it changes served probabilities only — never gradients or virtual-time
+// statistics.
+type QuantMode string
+
+const (
+	// QuantNone serves float64 weights (the default, and the baseline the
+	// AUC gate compares against).
+	QuantNone QuantMode = "none"
+	// QuantInt8 serves int8 weights with one symmetric scale per output row;
+	// dot products run in int32 with no per-element dequantization.
+	QuantInt8 QuantMode = "int8"
+	// QuantF16 serves float64 weights truncated to f16-style precision (10
+	// explicit mantissa bits, float32 exponent range).
+	QuantF16 QuantMode = "f16"
+)
+
+// QuantModes lists the supported modes in display order.
+func QuantModes() []QuantMode { return []QuantMode{QuantNone, QuantInt8, QuantF16} }
+
+// ParseQuantMode validates a mode string ("" means none).
+func ParseQuantMode(s string) (QuantMode, error) {
+	switch QuantMode(s) {
+	case "", QuantNone:
+		return QuantNone, nil
+	case QuantInt8:
+		return QuantInt8, nil
+	case QuantF16:
+		return QuantF16, nil
+	}
+	return "", fmt.Errorf("dlrm: unknown quantization mode %q (want none, int8, or f16)", s)
+}
+
+// inferencer is the inference contract a published MLP snapshot satisfies:
+// the float64 *MLP, its f16-truncated clone, and *QuantizedMLP all implement
+// it, so the forward pass dispatches on the published snapshot without
+// branching on the mode.
+type inferencer interface {
+	InferInto(x []float64, s *MLPScratch) []float64
+	InferBatchInto(x *tensor.Matrix, s *MLPBatchScratch) *tensor.Matrix
+}
+
+// quantLayer is one published int8 layer.
+type quantLayer struct {
+	qw   *tensor.QuantizedMatrix
+	b    []float64
+	relu bool
+}
+
+// QuantizedMLP is an int8 snapshot of an MLP, built by MLP.Quantize. It is
+// immutable after construction and safe for concurrent readers.
+type QuantizedMLP struct {
+	layers []quantLayer
+}
+
+// Quantize snapshots the MLP's weights into int8 with per-row scales. Biases
+// stay float64: they are added after the int32 dot product is rescaled.
+func (m *MLP) Quantize() *QuantizedMLP {
+	q := &QuantizedMLP{layers: make([]quantLayer, len(m.Layers))}
+	for i, l := range m.Layers {
+		q.layers[i] = quantLayer{
+			qw:   tensor.Quantize(l.W),
+			b:    append([]float64(nil), l.B...),
+			relu: l.ReLU,
+		}
+	}
+	return q
+}
+
+// TruncateF16 returns a clone of the MLP with every weight and bias passed
+// through tensor.TruncateF16, emulating half-precision weight storage while
+// keeping the float64 kernels.
+func (m *MLP) TruncateF16() *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Layer{
+			W:     tensor.TruncateF16Matrix(l.W),
+			B:     make([]float64, len(l.B)),
+			ReLU:  l.ReLU,
+			gradW: tensor.NewMatrix(l.W.Rows, l.W.Cols),
+			gradB: make([]float64, len(l.B)),
+		}
+		for i, v := range l.B {
+			nl.B[i] = tensor.TruncateF16(v)
+		}
+		c.Layers = append(c.Layers, nl)
+	}
+	return c
+}
+
+// InferInto runs the quantized stack through the scratch with zero heap
+// allocations: each layer quantizes its input activation once (shared scale)
+// into the scratch's int8 buffer, runs the int32 dot-product kernel, then
+// adds the float64 bias and applies ReLU in place.
+func (q *QuantizedMLP) InferInto(x []float64, s *MLPScratch) []float64 {
+	if len(s.acts) != len(q.layers) {
+		panic(fmt.Sprintf("dlrm: scratch has %d layer buffers, quantized MLP has %d layers", len(s.acts), len(q.layers)))
+	}
+	out := x
+	for i := range q.layers {
+		l := &q.layers[i]
+		xq := s.qx[:l.qw.Cols]
+		sx := tensor.QuantizeVectorInto(xq, out)
+		buf := s.acts[i]
+		l.qw.MatVecInto(buf, xq, sx)
+		for j := range buf {
+			buf[j] += l.b[j]
+		}
+		if l.relu {
+			tensor.ReLUInPlace(buf)
+		}
+		out = buf
+	}
+	return out
+}
+
+// InferBatchInto runs each row of x through InferInto and collects the
+// results in the batch scratch's final activation matrix. The int8 kernel
+// quantizes activations per row, so the batch cannot fold into one integer
+// GEMM; batching still amortizes scratch acquisition and keeps the call
+// shape uniform with the float path.
+func (q *QuantizedMLP) InferBatchInto(x *tensor.Matrix, s *MLPBatchScratch) *tensor.Matrix {
+	if x.Rows > s.maxB {
+		panic(fmt.Sprintf("dlrm: batch %d exceeds scratch capacity %d", x.Rows, s.maxB))
+	}
+	last := &s.acts[len(s.acts)-1]
+	last.Rows = x.Rows
+	for r := 0; r < x.Rows; r++ {
+		out := q.InferInto(x.Row(r), s.row)
+		copy(last.Row(r), out)
+	}
+	return last
+}

@@ -97,6 +97,27 @@ func (t *Table) ApplyRowDelta(id int32, delta []float64) {
 	t.version++
 }
 
+// ScatterAdd adds delta to every row in ids — the SPMM-style sparse scatter
+// of a mini-batch gradient: only the touched rows are visited, each is
+// marked dirty, and the version advances once for the whole batch (matching
+// ApplyDeltas' batch-bump semantics) instead of once per row.
+func (t *Table) ScatterAdd(ids []int32, delta []float64) {
+	if len(ids) == 0 {
+		return
+	}
+	if len(delta) != t.Dim {
+		panic(fmt.Sprintf("emt: delta len %d != dim %d", len(delta), t.Dim))
+	}
+	for _, id := range ids {
+		row := t.weights.Row(int(id))
+		for i, d := range delta {
+			row[i] += d
+		}
+		t.dirty[id] = struct{}{}
+	}
+	t.version++
+}
+
 // SetRow overwrites row id and marks it dirty.
 func (t *Table) SetRow(id int32, values []float64) {
 	row := t.weights.Row(int(id))

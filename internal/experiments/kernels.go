@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"liveupdate/internal/dlrm"
+	"liveupdate/internal/emt"
+	"liveupdate/internal/tensor"
+	"liveupdate/internal/trace"
+)
+
+// KernelAUCEpsilon is the named accuracy gate for quantized inference: a
+// quantized model's AUC may differ from the float64 baseline by at most this
+// much, in either direction. The kernels experiment FAILs any mode that
+// exceeds it, and TestQuantAUCWithinEpsilon asserts it.
+const KernelAUCEpsilon = 0.01
+
+// kernelDims are the model-shaped layer sizes the timing sweep runs over
+// (the bench profile's widest layers: bottom 64×8, top 64×26 and 32×64).
+var kernelDims = []struct{ rows, cols int }{
+	{64, 26},
+	{64, 64},
+}
+
+// timeKernel reports ns/op for f amortized over reps runs.
+func timeKernel(reps int, f func()) float64 {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// Kernels sweeps the compute-kernel variants — naive scalar, cache-blocked/
+// unrolled, batched GEMM, and int8 quantized — at serving batch sizes 1, 16,
+// and 64 on model-shaped matrices, then runs the quantization accuracy gate:
+// |AUC(quantized) − AUC(float64)| must stay under KernelAUCEpsilon for every
+// quantized mode. Timing columns are wall-clock ns per batch (hardware-
+// dependent); the AUC columns are deterministic from the seed.
+func Kernels(o Options) (Report, error) {
+	r := Report{
+		ID:     "kernels",
+		Title:  "Compute kernel sweep: scalar vs blocked vs GEMM vs int8 (+ AUC gate)",
+		Header: []string{"shape", "batch", "ns_scalar", "ns_blocked", "ns_gemm", "ns_int8", "speedup"},
+	}
+	reps := 2000
+	if o.Quick {
+		reps = 200
+	}
+	rng := tensor.NewRNG(o.Seed ^ 0x6e41)
+	for _, dim := range kernelDims {
+		w := tensor.RandomMatrix(rng, dim.rows, dim.cols, 1)
+		q := tensor.Quantize(w)
+		for _, batch := range []int{1, 16, 64} {
+			x := tensor.RandomMatrix(rng, batch, dim.cols, 1)
+			dst := tensor.NewMatrix(batch, dim.rows)
+			xq := make([]int8, dim.cols)
+
+			nsScalar := timeKernel(reps, func() {
+				for b := 0; b < batch; b++ {
+					tensor.MatVecRefInto(dst.Row(b), w, x.Row(b))
+				}
+			})
+			nsBlocked := timeKernel(reps, func() {
+				for b := 0; b < batch; b++ {
+					tensor.MatVecInto(dst.Row(b), w, x.Row(b))
+				}
+			})
+			nsGEMM := timeKernel(reps, func() {
+				tensor.MatMulTransInto(dst, x, w)
+			})
+			nsInt8 := timeKernel(reps, func() {
+				for b := 0; b < batch; b++ {
+					sx := tensor.QuantizeVectorInto(xq, x.Row(b))
+					q.MatVecInto(dst.Row(b), xq, sx)
+				}
+			})
+			best := math.Min(nsGEMM, math.Min(nsBlocked, nsInt8))
+			r.Rows = append(r.Rows, []string{
+				fmt.Sprintf("%dx%d", dim.rows, dim.cols), fmt.Sprintf("%d", batch),
+				f0(nsScalar), f0(nsBlocked), f0(nsGEMM), f0(nsInt8),
+				fmt.Sprintf("%.2fx", nsScalar/best),
+			})
+		}
+	}
+
+	modes := []dlrm.QuantMode{dlrm.QuantInt8, dlrm.QuantF16}
+	if o.Quant != "" && o.Quant != string(dlrm.QuantNone) {
+		m, err := dlrm.ParseQuantMode(o.Quant)
+		if err != nil {
+			return r, err
+		}
+		modes = []dlrm.QuantMode{m}
+	}
+	r.Rows = append(r.Rows, []string{"---", "", "", "", "", "", ""})
+	baseAUC := 0.0
+	for i, mode := range modes {
+		base, quant, err := QuantAUCDelta(o, mode)
+		if err != nil {
+			return r, err
+		}
+		baseAUC = base
+		delta := math.Abs(quant - base)
+		verdict := "PASS"
+		if delta > KernelAUCEpsilon {
+			verdict = "FAIL"
+			r.Notes = append(r.Notes,
+				fmt.Sprintf("quant %s: |ΔAUC| %.4f exceeds epsilon %.4f", mode, delta, KernelAUCEpsilon))
+		}
+		if i == 0 {
+			r.Rows = append(r.Rows, []string{"auc", "float64", f4(base), "", "", "", ""})
+		}
+		r.Rows = append(r.Rows, []string{"auc", string(mode), f4(quant),
+			fmt.Sprintf("|d|=%.4f", delta), fmt.Sprintf("eps=%.4f", KernelAUCEpsilon), verdict, ""})
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"gate: every quantized mode must hold |AUC-%0.4f| <= %.4f", baseAUC, KernelAUCEpsilon))
+	return r, nil
+}
+
+// QuantAUCDelta trains a small DLRM in float64, then scores one held-out
+// sample set twice — float64 weights and mode-quantized weights — returning
+// both AUCs. Everything is deterministic from o.Seed: training is identical
+// in both cases (quantization only snapshots published inference weights),
+// so the delta isolates the kernel's numeric error.
+func QuantAUCDelta(o Options, mode dlrm.QuantMode) (baseAUC, quantAUC float64, err error) {
+	p := accProfile("criteo", o.Quick)
+	gen, err := trace.NewGenerator(p, o.Seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := tensor.NewRNG(o.Seed ^ 0x6b31)
+	model, err := dlrm.NewModel(dlrm.ConfigForProfile(p), rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	group := emt.NewGroup(p.NumTables, p.TableSize, p.EmbeddingDim, rng)
+	emb := &dlrm.BaseEmbeddings{Group: group}
+	tr := &dlrm.Trainer{Model: model, Emb: emb, Opt: dlrm.SGD{LR: 0.05}, EmbLR: 0.05}
+
+	steps := 6
+	if o.Quick {
+		steps = 3
+	}
+	for i := 0; i < steps; i++ {
+		tr.TrainBatch(gen.Batch(accSamples(o)/2, 60))
+	}
+	eval := gen.Batch(accSamples(o), 60)
+
+	baseAUC = dlrm.EvaluateAUC(model, emb, eval)
+	if err := model.SetQuantization(mode); err != nil {
+		return 0, 0, err
+	}
+	quantAUC = dlrm.EvaluateAUC(model, emb, eval)
+	if err := model.SetQuantization(dlrm.QuantNone); err != nil {
+		return 0, 0, err
+	}
+	return baseAUC, quantAUC, nil
+}

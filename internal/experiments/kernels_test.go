@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"liveupdate/internal/dlrm"
+)
+
+func TestKernelsReport(t *testing.T) {
+	rep := run(t, "kernels")
+	// Timing rows for every shape × batch, plus the AUC section.
+	wantTimings := len(kernelDims) * 3
+	if len(rep.Rows) < wantTimings+3 {
+		t.Fatalf("kernels produced %d rows, want >= %d", len(rep.Rows), wantTimings+3)
+	}
+	// The AUC gate must PASS for both quantized modes (no FAIL cell, no
+	// exceeds-epsilon note).
+	out := rep.String()
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("kernels AUC gate failed:\n%s", out)
+	}
+	for _, mode := range []string{"int8", "f16"} {
+		if !strings.Contains(out, mode) {
+			t.Fatalf("kernels report missing %s AUC row:\n%s", mode, out)
+		}
+	}
+}
+
+// TestQuantAUCWithinEpsilon is the acceptance-criteria assertion: for every
+// quantized mode, |AUC(quantized) − AUC(float64)| ≤ KernelAUCEpsilon.
+func TestQuantAUCWithinEpsilon(t *testing.T) {
+	for _, mode := range []dlrm.QuantMode{dlrm.QuantInt8, dlrm.QuantF16} {
+		base, quant, err := QuantAUCDelta(quickOpts(), mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if base <= 0.5 {
+			t.Fatalf("%s: degenerate baseline AUC %v", mode, base)
+		}
+		if delta := math.Abs(quant - base); delta > KernelAUCEpsilon {
+			t.Fatalf("%s: |ΔAUC| = %v exceeds epsilon %v (base %v, quant %v)",
+				mode, delta, KernelAUCEpsilon, base, quant)
+		}
+	}
+}
+
+// TestQuantOptionRestrictsModes: o.Quant = "int8" must gate only int8.
+func TestQuantOptionRestrictsModes(t *testing.T) {
+	o := quickOpts()
+	o.Quant = "int8"
+	rep, err := Kernels(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if strings.Contains(out, "f16") {
+		t.Fatalf("kernels with Quant=int8 still reports f16:\n%s", out)
+	}
+}

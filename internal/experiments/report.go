@@ -88,6 +88,12 @@ type Options struct {
 	// virtual-state columns are invariant to them.
 	Delta    bool
 	Compress int
+
+	// Quant restricts the kernels experiment's AUC gate to one quantized
+	// mode ("int8" or "f16"); empty gates both. Virtual-time columns of
+	// every experiment are invariant to the quantization knob (it changes
+	// served probabilities only).
+	Quant string
 }
 
 // Runner executes one experiment.
@@ -120,6 +126,7 @@ func Registry() map[string]Runner {
 		"elastic":   Elastic,
 		"wire":      Wire,
 		"syncscale": SyncScale,
+		"kernels":   Kernels,
 	}
 }
 
@@ -129,6 +136,7 @@ func IDs() []string {
 		"table2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig14", "table3", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "syncpipe", "elastic", "wire", "syncscale",
+		"kernels",
 	}
 }
 

@@ -126,10 +126,13 @@ type Adapter struct {
 	adaptations int // completed rank/prune passes
 	pruned      int // total rows evicted
 
-	// dbScratch is Train's dB gradient accumulator, reused across calls so a
-	// training tick allocates nothing per sample (owner-only, like Train
-	// itself); it is rebuilt when the rank changes.
-	dbScratch *tensor.Matrix
+	// daScratch and coefScratch are Train's per-rank scratches (the hoisted
+	// A-gradient step and the summed pre-update A coefficients), reused
+	// across calls so a training tick allocates nothing per sample
+	// (owner-only, like Train itself); they are regrown when the rank
+	// changes.
+	daScratch   []float64
+	coefScratch []float64
 
 	rng *tensor.RNG // A-row initialization
 }
@@ -236,15 +239,21 @@ func (a *Adapter) Train(ids []int32, grad []float64, lr float64) {
 	st := a.cur.Load()
 	invPool := 1 / float64(len(ids))
 
-	// dB accumulates Σ_i A[i]ᵀ·(grad/pool); computed before A rows move.
-	// The scratch is reused across calls: zeroing is cheaper than allocating
-	// and keeps the train tick off the garbage collector entirely.
-	dB := a.dbScratch
-	if dB == nil || dB.Rows != st.rank || dB.Cols != a.cfg.Dim {
-		dB = tensor.NewMatrix(st.rank, a.cfg.Dim)
-		a.dbScratch = dB
-	} else {
-		dB.Zero()
+	// The A-row gradient dA[i] = (grad/pool)·Bᵀ does not depend on i (B only
+	// moves after the loop), so the k dot products are hoisted out of the
+	// per-id walk: O(rank·dim) once instead of per id. coef[k] accumulates the
+	// pre-update A coefficients Σ_i A[i][k], which folds the dense dB matrix
+	// into one Axpy per rank — the B update touches only the mini-batch's
+	// contribution, SPMM-style, with no rank×dim accumulator to zero.
+	if len(a.daScratch) < st.rank {
+		a.daScratch = make([]float64, st.rank)
+		a.coefScratch = make([]float64, st.rank)
+	}
+	da := a.daScratch[:st.rank]
+	coef := a.coefScratch[:st.rank]
+	for k := 0; k < st.rank; k++ {
+		da[k] = lr * invPool * tensor.Dot(grad, st.b.Row(k))
+		coef[k] = 0
 	}
 	for _, id := range ids {
 		row := a.ensureRow(st, id)
@@ -253,17 +262,17 @@ func (a *Adapter) Train(ids []int32, grad []float64, lr float64) {
 		}
 		a.freq[id]++
 		a.supp[id] = struct{}{}
-		// dA[i] = (grad/pool) · Bᵀ  (1×k)
 		for k := 0; k < st.rank; k++ {
-			dAk := invPool * tensor.Dot(grad, st.b.Row(k))
-			// dB[k] += A[i][k] * grad/pool
-			if row[k] != 0 {
-				tensor.Axpy(row[k]*invPool, grad, dB.Row(k))
-			}
-			row[k] -= lr * dAk
+			coef[k] += row[k] // pre-update value, as dB sees it
+			row[k] -= da[k]
 		}
 	}
-	st.b.AXPY(-lr, dB)
+	for k := 0; k < st.rank; k++ {
+		// dB[k] = coef[k] · grad/pool; apply the SGD step directly.
+		if coef[k] != 0 {
+			tensor.Axpy(-lr*coef[k]*invPool, grad, st.b.Row(k))
+		}
+	}
 
 	a.iter++
 	if a.iter%a.cfg.AdaptInterval == 0 {

@@ -6,6 +6,7 @@ package serving
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"liveupdate/internal/dlrm"
@@ -226,22 +227,66 @@ func (n *Node) Serve(s trace.Sample) (prob, latency float64) {
 	return prob, n.Commit(s)
 }
 
-// ServeBatch serves samples in order through one shared forward scratch —
-// the amortized batch path: buffers are acquired once for the whole batch
-// while every request still gets its own memory-model charges, ring push,
-// latency observation, and clock advance, so virtual-time statistics are
-// identical to a loop over Serve. It returns the mean request latency.
+// batchViews holds the slice-header views PredictBatch packs from a sample
+// slice (no feature data is copied — the headers alias the samples). Pooled
+// so building a batch view allocates nothing in steady state; views are
+// package-global because batches from different nodes are interchangeable.
+type batchViews struct {
+	dense  [][]float64
+	sparse [][][]int32
+}
+
+var viewPool = sync.Pool{New: func() any { return &batchViews{} }}
+
+// probsPool pools ServeBatch's probability output buffers (pointer-to-slice
+// so Put does not allocate).
+var probsPool = sync.Pool{New: func() any { b := make([]float64, 0, 64); return &b }}
+
+// PredictBatch scores samples in order, writing click probabilities into
+// probs (len(probs) == len(samples)). It is the batched form of Predict —
+// lock-free, zero-alloc in steady state — and routes through the model's
+// GEMM path: one matrix multiply per MLP layer for the whole batch, with
+// results bit-identical to per-sample Predict calls.
+func (n *Node) PredictBatch(samples []trace.Sample, probs []float64) {
+	if len(probs) != len(samples) {
+		panic(fmt.Sprintf("serving: PredictBatch probs len %d != samples len %d", len(probs), len(samples)))
+	}
+	if len(samples) == 0 {
+		return
+	}
+	v := viewPool.Get().(*batchViews)
+	v.dense = v.dense[:0]
+	v.sparse = v.sparse[:0]
+	for i := range samples {
+		v.dense = append(v.dense, samples[i].Dense)
+		v.sparse = append(v.sparse, samples[i].Sparse)
+	}
+	n.Model.PredictBatch(n.Emb, v.dense, v.sparse, probs, nil)
+	viewPool.Put(v)
+}
+
+// ServeBatch serves samples in order through the batched GEMM scoring path —
+// buffers are acquired once for the whole batch while every request still
+// gets its own memory-model charges, ring push, latency observation, and
+// clock advance, so virtual-time statistics are identical to a loop over
+// Serve. It returns the mean request latency.
 func (n *Node) ServeBatch(samples []trace.Sample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
-	sc := n.Model.AcquireScratch()
-	defer n.Model.ReleaseScratch(sc)
+	pb := probsPool.Get().(*[]float64)
+	probs := *pb
+	if cap(probs) < len(samples) {
+		probs = make([]float64, len(samples))
+	}
+	probs = probs[:len(samples)]
+	n.PredictBatch(samples, probs)
 	total := 0.0
 	for _, s := range samples {
-		n.Model.PredictWith(n.Emb, s.Dense, s.Sparse, sc)
 		total += n.Commit(s)
 	}
+	*pb = probs[:0]
+	probsPool.Put(pb)
 	return total / float64(len(samples))
 }
 

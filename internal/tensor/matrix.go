@@ -104,46 +104,46 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// MatMul returns a × b. It panics on a dimension mismatch.
+// MatMul returns a × b. It panics on a dimension mismatch. Thin allocating
+// shim over MatMulInto; hot paths call the Into kernel directly.
 func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	c := NewMatrix(a.Rows, b.Cols)
-	// ikj loop order: streams rows of b, cache friendly for row-major data.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	MatMulInto(c, a, b)
 	return c
 }
 
-// MatVec returns a × x for a column vector x (len == a.Cols).
+// checkMatVec validates one matvec call. Every panic message carries both
+// operand shapes (a, x, dst) so a mismatch is diagnosable from the message
+// alone, whichever operand is wrong.
+func checkMatVec(op string, dst []float64, a *Matrix, x []float64) {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("tensor: %s a=%dx%d x=%d dst=%d: len(x) must equal a.Cols",
+			op, a.Rows, a.Cols, len(x), len(dst)))
+	}
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("tensor: %s a=%dx%d x=%d dst=%d: len(dst) must equal a.Rows",
+			op, a.Rows, a.Cols, len(x), len(dst)))
+	}
+	if len(dst) > 0 && len(x) > 0 && &dst[0] == &x[0] {
+		panic(fmt.Sprintf("tensor: %s a=%dx%d x=%d dst=%d: dst must not alias x",
+			op, a.Rows, a.Cols, len(x), len(dst)))
+	}
+}
+
+// MatVec returns a × x for a column vector x (len == a.Cols). Thin allocating
+// shim over MatVecInto.
 func MatVec(a *Matrix, x []float64) []float64 {
 	y := make([]float64, a.Rows)
 	MatVecInto(y, a, x)
 	return y
 }
 
-// MatVecInto computes a × x into dst (len == a.Rows), overwriting dst. It is
-// the allocation-free core of the serving fast path: callers own dst and
-// reuse it across requests. dst must not alias x.
-func MatVecInto(dst []float64, a *Matrix, x []float64) {
-	if len(x) != a.Cols {
-		panic(fmt.Sprintf("tensor: matvec %dx%d × %d", a.Rows, a.Cols, len(x)))
-	}
-	if len(dst) != a.Rows {
-		panic(fmt.Sprintf("tensor: matvec dst len %d != %d rows", len(dst), a.Rows))
-	}
+// MatVecRefInto is the naive scalar matvec: one accumulator per output row,
+// columns in order. It is the bit-for-bit ground truth the blocked kernel is
+// property-tested against (and the baseline the `kernels` experiment times);
+// serving paths use MatVecInto.
+func MatVecRefInto(dst []float64, a *Matrix, x []float64) {
+	checkMatVec("matvec", dst, a, x)
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		s := 0.0
@@ -151,6 +151,151 @@ func MatVecInto(dst []float64, a *Matrix, x []float64) {
 			s += v * x[j]
 		}
 		dst[i] = s
+	}
+}
+
+// MatVecInto computes a × x into dst (len == a.Rows), overwriting dst. It is
+// the allocation-free core of the serving fast path: callers own dst and
+// reuse it across requests. dst must not alias x.
+//
+// The kernel is register-blocked over rows, four at a time, so each loaded
+// x[j] feeds four multiply-adds instead of one. Every output element keeps
+// its own accumulator and sums columns in the same sequential order as the
+// scalar reference, so results are bit-identical to MatVecRefInto
+// (TestKernelBlockedMatchesReference).
+func MatVecInto(dst []float64, a *Matrix, x []float64) {
+	checkMatVec("matvec", dst, a, x)
+	n := a.Cols
+	i := 0
+	for ; i+4 <= a.Rows; i += 4 {
+		r0 := a.Data[(i+0)*n : (i+1)*n]
+		r1 := a.Data[(i+1)*n : (i+2)*n]
+		r2 := a.Data[(i+2)*n : (i+3)*n]
+		r3 := a.Data[(i+3)*n : (i+4)*n]
+		var s0, s1, s2, s3 float64
+		for j, xv := range x {
+			s0 += r0[j] * xv
+			s1 += r1[j] * xv
+			s2 += r2[j] * xv
+			s3 += r3[j] * xv
+		}
+		dst[i+0] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < a.Rows; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		s := 0.0
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		dst[i] = s
+	}
+}
+
+// checkMatMul validates one matmul-family call: both operand shapes appear in
+// every message, and dst must alias neither operand.
+func checkMatMul(op string, dst, a, b *Matrix, wantRows, wantCols int, innerOK bool) {
+	if !innerOK {
+		panic(fmt.Sprintf("tensor: %s a=%dx%d b=%dx%d: inner dimensions must agree",
+			op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != wantRows || dst.Cols != wantCols {
+		panic(fmt.Sprintf("tensor: %s a=%dx%d b=%dx%d dst=%dx%d: dst must be %dx%d",
+			op, a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, wantRows, wantCols))
+	}
+	if len(dst.Data) > 0 {
+		if len(a.Data) > 0 && &dst.Data[0] == &a.Data[0] {
+			panic(fmt.Sprintf("tensor: %s a=%dx%d b=%dx%d dst=%dx%d: dst must not alias a",
+				op, a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+		}
+		if len(b.Data) > 0 && &dst.Data[0] == &b.Data[0] {
+			panic(fmt.Sprintf("tensor: %s a=%dx%d b=%dx%d dst=%dx%d: dst must not alias b",
+				op, a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+		}
+	}
+}
+
+// MatMulInto computes a × b into dst (a.Rows × b.Cols), overwriting dst. The
+// loop order is ikj — both b and dst stream row-wise — with the k loop
+// unrolled four-wide so each dst row stays in registers across four b rows.
+// Per output element the k terms accumulate strictly in order, so results are
+// bit-identical to the scalar ikj reference.
+func MatMulInto(dst, a, b *Matrix) {
+	checkMatMul("matmul", dst, a, b, a.Rows, b.Cols, a.Cols == b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := dst.Row(i)
+		for j := range crow {
+			crow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= a.Cols; k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := b.Row(k)
+			b1 := b.Row(k + 1)
+			b2 := b.Row(k + 2)
+			b3 := b.Row(k + 3)
+			for j := range crow {
+				s := crow[j]
+				s += a0 * b0[j]
+				s += a1 * b1[j]
+				s += a2 * b2[j]
+				s += a3 * b3[j]
+				crow[j] = s
+			}
+		}
+		for ; k < a.Cols; k++ {
+			av := arow[k]
+			brow := b.Row(k)
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransInto computes a × bᵀ into dst (a.Rows × b.Rows): dst[i][o] is
+// the dot product of a's row i with b's row o. This is the batched-inference
+// GEMM — a batch of activation rows times a row-major weight matrix — and
+// both operands stream row-wise with no transposition. The kernel is tiled
+// 2×2 (two a rows × two b rows share four register accumulators), and each
+// output element sums columns in the same sequential order as MatVecInto, so
+// a batched forward is bit-identical to per-sample matvecs.
+func MatMulTransInto(dst, a, b *Matrix) {
+	checkMatMul("matmulT", dst, a, b, a.Rows, b.Rows, a.Cols == b.Cols)
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		x0, x1 := a.Row(i), a.Row(i+1)
+		c0, c1 := dst.Row(i), dst.Row(i+1)
+		o := 0
+		for ; o+2 <= b.Rows; o += 2 {
+			w0, w1 := b.Row(o), b.Row(o+1)
+			var s00, s01, s10, s11 float64
+			for j, xv0 := range x0 {
+				xv1 := x1[j]
+				wv0, wv1 := w0[j], w1[j]
+				s00 += wv0 * xv0
+				s01 += wv1 * xv0
+				s10 += wv0 * xv1
+				s11 += wv1 * xv1
+			}
+			c0[o], c0[o+1] = s00, s01
+			c1[o], c1[o+1] = s10, s11
+		}
+		for ; o < b.Rows; o++ {
+			w := b.Row(o)
+			var s0, s1 float64
+			for j, wv := range w {
+				s0 += wv * x0[j]
+				s1 += wv * x1[j]
+			}
+			c0[o], c1[o] = s0, s1
+		}
+	}
+	for ; i < a.Rows; i++ {
+		MatVecInto(dst.Row(i), b, a.Row(i))
 	}
 }
 

@@ -57,6 +57,7 @@ import (
 	"liveupdate/internal/cluster"
 	"liveupdate/internal/collective"
 	"liveupdate/internal/core"
+	"liveupdate/internal/dlrm"
 	"liveupdate/internal/driver"
 	"liveupdate/internal/experiments"
 	"liveupdate/internal/fleet"
@@ -68,7 +69,7 @@ import (
 )
 
 // Version identifies this reproduction release.
-const Version = "2.4.0"
+const Version = "2.5.0"
 
 // Server is the unified serving abstraction: one request in, a scored
 // response out, plus a consistent statistics snapshot. Both the single-node
@@ -223,6 +224,36 @@ const (
 
 // SyncTopologies lists the supported sync topologies, default first.
 func SyncTopologies() []SyncTopology { return collective.Topologies() }
+
+// Quantization selects the published inference weight format of the dense
+// MLPs. Training always runs in float64; quantization snapshots the weights
+// at publish time (system construction, full sync), so it changes served
+// probabilities only — every virtual-time statistic is invariant to it. The
+// kernels experiment gates each quantized mode's accuracy: |ΔAUC| vs the
+// float64 baseline must stay under experiments.KernelAUCEpsilon.
+type Quantization = dlrm.QuantMode
+
+// The quantization modes.
+const (
+	// QuantizationNone (the default) serves float64 weights.
+	QuantizationNone = dlrm.QuantNone
+	// QuantizationInt8 serves int8 weights with one symmetric scale per
+	// output row; dot products run in int32 with no per-element dequant.
+	QuantizationInt8 = dlrm.QuantInt8
+	// QuantizationF16 serves weights truncated to f16-style precision (10
+	// explicit mantissa bits, float32 exponent range).
+	QuantizationF16 = dlrm.QuantF16
+)
+
+// Quantizations lists the supported quantization modes, default first.
+func Quantizations() []Quantization {
+	return dlrm.QuantModes()
+}
+
+// ParseQuantization validates a quantization mode string ("" means none).
+func ParseQuantization(s string) (Quantization, error) {
+	return dlrm.ParseQuantMode(s)
+}
 
 // Profile describes a dataset/workload (paper Table II).
 type Profile = trace.Profile
@@ -411,6 +442,18 @@ func WithBatchSize(n int) Option {
 			return fmt.Errorf("liveupdate: WithBatchSize(%d): batch size must be non-negative", n)
 		}
 		c.overrides = append(c.overrides, func(o *core.Options) { o.BatchSize = n })
+		return nil
+	})
+}
+
+// WithQuantization selects the published inference weight format (see
+// Quantization). The zero value serves float64.
+func WithQuantization(q Quantization) Option {
+	return optionFunc(func(c *config) error {
+		if _, err := dlrm.ParseQuantMode(string(q)); err != nil {
+			return fmt.Errorf("liveupdate: WithQuantization: %w", err)
+		}
+		c.overrides = append(c.overrides, func(o *core.Options) { o.Quantization = string(q) })
 		return nil
 	})
 }
@@ -803,6 +846,9 @@ type ExperimentConfig struct {
 	DeltaSync bool
 	// Compression sets the fleet-serving experiments' flate level (0–9).
 	Compression int
+	// Quantization restricts the kernels experiment's AUC gate to one
+	// quantized mode; the zero value gates every quantized mode.
+	Quantization Quantization
 }
 
 // RunExperiment regenerates one paper table/figure and returns its printable
@@ -827,6 +873,7 @@ func RunExperimentWith(id string, cfg ExperimentConfig) (string, error) {
 		Topology: string(cfg.Topology),
 		Delta:    cfg.DeltaSync,
 		Compress: cfg.Compression,
+		Quant:    string(cfg.Quantization),
 	})
 	if err != nil {
 		return "", err
