@@ -20,6 +20,7 @@ import (
 	"liveupdate/internal/experiments"
 	"liveupdate/internal/lora"
 	"liveupdate/internal/numasim"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/simnet"
 	"liveupdate/internal/tensor"
 	"liveupdate/internal/trace"
@@ -118,6 +119,63 @@ func BenchmarkServeRequestNoAlloc(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Node.Predict(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkServeRequestTelemetry is BenchmarkServeRequest with the full
+// telemetry surface live at the most expensive setting (every request traced,
+// SampleEvery 1): the route/forward/commit spans, the serve counters, and the
+// latency histogram all record on every serve. The delta against
+// BenchmarkServeRequest is the whole cost of observing the serving path —
+// the PR gate holds it under 2% ns/op.
+func BenchmarkServeRequestTelemetry(b *testing.B) {
+	p := benchServingProfile()
+	sys, err := New(WithProfile(p), WithSeed(1), WithTelemetry(TelemetryConfig{SampleEvery: 1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := NewWorkload(p, 2)
+	samples := make([]Sample, 1024)
+	for i := range samples {
+		samples[i] = gen.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Serve(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkServeRequestTracedNoAlloc is BenchmarkServeRequestNoAlloc with
+// stage tracing enabled and sampling every request: the forward span's
+// StageStart/StageEnd pair (two clock reads, two atomic adds, one seqlock
+// ring write) runs inside the measured region. The zero-allocation guarantee
+// must survive telemetry — CI's alloc-gate step runs this benchmark alongside
+// the untraced ones and fails the build if allocs/op ever reads above 0.
+func BenchmarkServeRequestTracedNoAlloc(b *testing.B) {
+	p := benchServingProfile()
+	srv, err := New(WithProfile(p), WithSeed(1), WithTelemetry(TelemetryConfig{SampleEvery: 1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := srv.(*System)
+	gen := NewWorkload(p, 2)
+	samples := make([]Sample, 1024)
+	for i := range samples {
+		samples[i] = gen.Next()
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := sys.Serve(samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Node.Predict(samples[i%len(samples)])
+	}
+	b.StopTimer()
+	if ServerTelemetry(srv).Tracer().StageTotals()[obs.StageForward].Count == 0 {
+		b.Fatal("tracer recorded no forward spans — telemetry was not live in the measured region")
 	}
 }
 

@@ -15,6 +15,9 @@
 //
 //	liveupdate-serve -replicas 4 -listen :7070 -queue-depth 32   # process 1: serve the wire
 //	liveupdate-serve -connect localhost:7070 -conns 8 -batch 8   # process 2: drive it
+//
+//	liveupdate-serve -telemetry -trace-out spans.json            # stage table + Perfetto trace
+//	liveupdate-serve -listen :7070 -telemetry -pprof             # live /metrics, /debug/vars, /trace, /debug/pprof/
 package main
 
 import (
@@ -75,6 +78,14 @@ func main() {
 		"server mode: admission queue depth; arrivals past it are shed with 429 (0 = default 64)")
 	slaBudget := flag.Duration("sla-budget", 0,
 		"server mode: shed arrivals whose predicted queueing delay exceeds this budget (0 = disabled)")
+	telemetry := flag.Bool("telemetry", false,
+		"attach the telemetry layer: fleet metrics registry plus sampled per-request stage tracing; prints a stage latency table after a local drive, and with -listen exports GET /metrics, /debug/vars, /trace")
+	traceSample := flag.Int("trace-sample", 1,
+		"telemetry: trace 1 in N requests per stage (1 = every request, 0 = metrics only); implies nothing without -telemetry")
+	traceOut := flag.String("trace-out", "",
+		"telemetry: write the span ring as Chrome trace-event JSON to this file at exit (load at ui.perfetto.dev); implies -telemetry")
+	pprofFlag := flag.Bool("pprof", false,
+		"telemetry server mode: expose net/http/pprof under /debug/pprof/ (debug surface, off by default); implies -telemetry")
 	flag.Parse()
 
 	// Validate flags up front so bad values produce an error, not a panic
@@ -90,6 +101,15 @@ func main() {
 	}
 	if *connect != "" && *conns < 1 {
 		fatalf("-conns must be >= 1, got %d", *conns)
+	}
+	if *traceOut != "" || *pprofFlag {
+		*telemetry = true
+	}
+	if *telemetry && *connect != "" {
+		fatalf("-telemetry instruments the serving process; in -connect mode set it on the -listen side and scrape its /metrics")
+	}
+	if *traceSample < 0 {
+		fatalf("-trace-sample must be non-negative, got %d", *traceSample)
 	}
 	if *report < 0 {
 		fatalf("-report must be non-negative, got %d", *report)
@@ -174,6 +194,12 @@ func main() {
 	if len(chaos) > 0 {
 		opts = append(opts, liveupdate.WithChaos(chaos))
 	}
+	if *telemetry {
+		opts = append(opts, liveupdate.WithTelemetry(liveupdate.TelemetryConfig{
+			SampleEvery: *traceSample,
+			Pprof:       *pprofFlag,
+		}))
+	}
 
 	if *listen != "" {
 		ln, err := net.Listen("tcp", *listen)
@@ -193,7 +219,7 @@ func main() {
 			ln.Close()
 			fatalf("%v", err)
 		}
-		runServer(srv.(*liveupdate.Gateway), *replicas)
+		runServer(srv.(*liveupdate.Gateway), *replicas, *telemetry, *pprofFlag, *traceOut)
 		return
 	}
 
@@ -215,7 +241,10 @@ func main() {
 			st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps,
 			st.MemoryOverhead, st.Syncs, st.SyncBytes, st.VirtualTime)
 	}
-	if *concurrency == 1 && len(chaos) == 0 && *batch <= 1 {
+	// With telemetry on, even a single-worker run goes through Drive so the
+	// report carries the sampled stage breakdown (virtual-time stats are
+	// identical either way).
+	if *concurrency == 1 && len(chaos) == 0 && *batch <= 1 && !*telemetry {
 		for i := 1; i <= *requests; i++ {
 			if _, err := srv.Serve(gen.Next()); err != nil {
 				fatalf("serve: %v", err)
@@ -262,6 +291,7 @@ func main() {
 				fmt.Printf("  (%d events skipped: trace ended before their timestamps)\n", rep.ChaosSkipped)
 			}
 		}
+		printStageTable(rep.Stages, *traceSample)
 	}
 	if st := srv.Stats(); len(st.Replicas) > 0 {
 		fmt.Println("\nper-replica breakdown:")
@@ -283,15 +313,61 @@ func main() {
 				st.Members, st.Joins, st.Leaves, st.Fails, st.CatchUpBytes, st.CatchUpSeconds)
 		}
 	}
+	dumpTrace(srv, *traceOut)
+}
+
+// printStageTable renders the drive's sampled per-stage wall-clock latency
+// breakdown (empty unless the Server was built with tracing enabled).
+func printStageTable(stages []liveupdate.DriveStageStat, sampleEvery int) {
+	if len(stages) == 0 {
+		return
+	}
+	fmt.Printf("\nstage breakdown (wall clock, 1 in %d sampled):\n  %-14s %-10s %-12s %-12s\n",
+		sampleEvery, "stage", "spans", "total(ms)", "mean(µs)")
+	for _, ss := range stages {
+		fmt.Printf("  %-14s %-10d %-12.3f %-12.3f\n",
+			ss.Stage, ss.Count, float64(ss.TotalNs)/1e6, ss.MeanNs/1e3)
+	}
+}
+
+// dumpTrace writes the span ring as Chrome trace-event JSON (Perfetto-
+// loadable). A Server without telemetry, or an empty path, is a no-op.
+func dumpTrace(srv liveupdate.Server, path string) {
+	if path == "" {
+		return
+	}
+	tel := liveupdate.ServerTelemetry(srv)
+	if tel == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("-trace-out: %v", err)
+	}
+	if err := tel.WriteTrace(f); err != nil {
+		f.Close()
+		fatalf("-trace-out: writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("-trace-out: %v", err)
+	}
+	fmt.Printf("\ntelemetry trace written to %s (load at ui.perfetto.dev)\n", path)
 }
 
 // runServer is -listen mode: the gateway is already accepting; hold the
 // process open until SIGINT/SIGTERM, then print the final statistics —
 // including the wire admission ledger — and shut down gracefully.
-func runServer(gw *liveupdate.Gateway, replicas int) {
+func runServer(gw *liveupdate.Gateway, replicas int, telemetry, pprofOn bool, traceOut string) {
 	fmt.Printf("liveupdate-serve %s: listening on %s (replicas=%d)\n",
 		liveupdate.Version, gw.Addr(), replicas)
 	fmt.Println("drive me from another process: liveupdate-serve -connect", gw.Addr())
+	if telemetry {
+		extra := ""
+		if pprofOn {
+			extra = " /debug/pprof/"
+		}
+		fmt.Printf("observability: GET /metrics /debug/vars /trace%s (never shed by admission)\n", extra)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -301,6 +377,7 @@ func runServer(gw *liveupdate.Gateway, replicas int) {
 	fmt.Printf("\nfinal: served=%d P99=%.3fms violations=%.4f trainSteps=%d virtTime=%.2fs\n",
 		st.Served, st.P99*1000, st.ViolationRate, st.TrainSteps, st.VirtualTime)
 	printWireTable(st.Wire)
+	dumpTrace(gw, traceOut)
 	if err := gw.Close(); err != nil {
 		fatalf("shutdown: %v", err)
 	}

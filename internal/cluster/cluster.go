@@ -73,6 +73,7 @@ import (
 	"liveupdate/internal/core"
 	"liveupdate/internal/fleet"
 	"liveupdate/internal/metrics"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/simnet"
 	"liveupdate/internal/trace"
 )
@@ -241,6 +242,14 @@ type Cluster struct {
 	stats   core.Stats
 	statsOK bool
 	statsAt uint64
+
+	// Telemetry instruments (nil without Config.Base.Telemetry). Strictly
+	// side-band: counters observe completed events, gauges read lock-free
+	// state at scrape time, spans time wall-clock stages. Nothing here feeds
+	// back into routing, syncing, or any virtual-time statistic — and scrape
+	// paths never call Stats(), which would drain the async pipeline.
+	tracer   *obs.Tracer
+	obsSyncs *obs.Counter
 }
 
 // New builds the fleet: Replicas identical Systems from cfg.Base (shared
@@ -323,8 +332,36 @@ func New(cfg Config) (*Cluster, error) {
 	if mode == SyncAsync && cfg.SyncEvery > 0 {
 		c.pipe = newSyncPipeline(c)
 	}
+	if tel := cfg.Base.Telemetry; tel != nil {
+		reg := tel.Registry()
+		c.tracer = tel.Tracer()
+		c.obsSyncs = reg.Counter("liveupdate_sync_epochs_total",
+			"LoRA priority-merge synchronizations completed (periodic epochs and manual syncs).")
+		// Function-backed instruments read lock-free (view pointer, clock
+		// atomics) or briefly lock the membership controller — never a fleet
+		// or replica serve lock, so a scrape cannot stall serving.
+		reg.GaugeFunc("liveupdate_fleet_members",
+			"Active replicas in the current membership view.",
+			func() float64 { return float64(c.fleet.View().NumActive()) })
+		reg.GaugeFunc("liveupdate_virtual_time_seconds",
+			"Fleet virtual clock (most advanced replica, including retired high-water mark).",
+			c.fleetClock)
+		reg.CounterFunc("liveupdate_fleet_joins_total",
+			"Replicas admitted after the seed fleet (join, replace, scale-up).",
+			func() uint64 { return uint64(c.fleet.Stats().Joins) })
+		reg.CounterFunc("liveupdate_fleet_leaves_total",
+			"Graceful departures (leave, scale-down).",
+			func() uint64 { return uint64(c.fleet.Stats().Leaves) })
+		reg.CounterFunc("liveupdate_fleet_fails_total",
+			"Abrupt exclusions (fail, the fail half of replace).",
+			func() uint64 { return uint64(c.fleet.Stats().Fails) })
+	}
 	return c, nil
 }
+
+// Telemetry returns the telemetry the fleet was built with (nil when
+// observability is off); replicas share it via Config.Base.Telemetry.
+func (c *Cluster) Telemetry() *obs.Telemetry { return c.cfg.Base.Telemetry }
 
 // Size returns the number of active replicas.
 func (c *Cluster) Size() int { return c.fleet.View().NumActive() }
@@ -370,6 +407,8 @@ func (c *Cluster) NumShards() int { return c.fleet.View().NumSlots() }
 // parallel. Each request must be routed exactly once: stateful routers
 // (round-robin) advance their cursor here. Only active slots are returned.
 func (c *Cluster) ShardOf(s trace.Sample) int {
+	t0 := c.tracer.StageStart(obs.StageRoute)
+	defer c.tracer.StageEnd(obs.StageRoute, t0)
 	v := c.fleet.View()
 	if vr, ok := c.router.(fleet.ViewRouter); ok {
 		if m := vr.RouteView(s, v); m != nil {
@@ -829,9 +868,14 @@ func (c *Cluster) syncEpochAsync() error {
 	if err != nil {
 		return err
 	}
+	// The publish stall is the install span: each member briefly holds its
+	// node lock while the merged state swaps in.
+	t0 := c.tracer.StageStart(obs.StageSyncPublish)
 	for _, m := range members {
 		m.Sys.PublishLoRA(merged, epoch)
 	}
+	c.tracer.StageEnd(obs.StageSyncPublish, t0)
+	c.obsSyncs.Inc()
 	c.syncedEpoch.Add(1)
 	c.gen.Add(0, 1)
 	return nil
@@ -890,6 +934,10 @@ func unlockMembers(members []*fleet.Member) {
 // syncLocked runs one sync over the live member view; callers must hold the
 // fleet write lock.
 func (c *Cluster) syncLocked() (collective.MergeStats, error) {
+	// In barrier mode the whole merge+publish IS the serving stall (the
+	// fleet write lock is held), so the span covers all of it.
+	t0 := c.tracer.StageStart(obs.StageSyncPublish)
+	defer c.tracer.StageEnd(obs.StageSyncPublish, t0)
 	members := c.fleet.View().Active()
 	lockMembers(members)
 	states := make([]collective.RankedState, len(members))
@@ -906,6 +954,7 @@ func (c *Cluster) syncLocked() (collective.MergeStats, error) {
 	if err != nil {
 		return stats, fmt.Errorf("cluster: sync failed: %w", err)
 	}
+	c.obsSyncs.Inc()
 	c.gen.Add(0, 1)
 	return stats, nil
 }

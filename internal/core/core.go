@@ -13,6 +13,7 @@ import (
 	"liveupdate/internal/emt"
 	"liveupdate/internal/lora"
 	"liveupdate/internal/numasim"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/serving"
 	"liveupdate/internal/simnet"
 	"liveupdate/internal/tensor"
@@ -46,6 +47,14 @@ type Options struct {
 	// ServeShardBatch call. 0 or 1 means unbatched. It is a driving hint
 	// (picked up via DefaultBatchSize), not a serving-path requirement.
 	BatchSize int
+
+	// Telemetry, when non-nil, receives side-band wall-clock observability:
+	// serve/violation/train-tick counters, a virtual-latency histogram, and
+	// sampled stage spans (see internal/obs). It is strictly an observer —
+	// it never reads or mutates virtual-time state, so every deterministic
+	// statistic is bit-identical with telemetry on or off. Replicas of one
+	// fleet share a Telemetry; same-name instruments are get-or-create.
+	Telemetry *obs.Telemetry
 
 	// Quantization selects the published inference weight format for the
 	// dense MLPs: "" or "none" (float64), "int8" (per-row symmetric scales,
@@ -150,6 +159,16 @@ type System struct {
 	// state directly and FullSync overwrites base tables and dense weights.
 	// It is uncontended on the hot path — a read lock costs one atomic op.
 	paramMu sync.RWMutex
+
+	// Telemetry instruments (nil when Options.Telemetry is nil; the nil
+	// receivers no-op, so disabled telemetry costs one branch per site).
+	// All are side-band wall-clock observers of already-computed values.
+	tel        *obs.Telemetry
+	tracer     *obs.Tracer
+	obsServed  *obs.Counter
+	obsViol    *obs.Counter
+	obsTicks   *obs.Counter
+	obsLatency *obs.Histogram
 }
 
 // New assembles a system from opts.
@@ -198,6 +217,21 @@ func New(opts Options) (*System, error) {
 			return nil, err
 		}
 		s.Controller = ctl
+	}
+	if tel := opts.Telemetry; tel != nil {
+		reg := tel.Registry()
+		s.tel = tel
+		s.tracer = tel.Tracer()
+		s.Node.Trace = s.tracer
+		s.obsServed = reg.Counter("liveupdate_serve_requests_total",
+			"Requests served (fleet-wide when replicas share a Telemetry).")
+		s.obsViol = reg.Counter("liveupdate_sla_violations_total",
+			"Requests whose virtual latency exceeded the SLA target.")
+		s.obsTicks = reg.Counter("liveupdate_train_ticks_total",
+			"Co-located LoRA training ticks executed.")
+		s.obsLatency = reg.Histogram("liveupdate_serve_latency_seconds",
+			"Virtual request latency in seconds (deterministic values; observing them is side-band).",
+			0, 0.05, 25)
 	}
 	return s, nil
 }
@@ -328,11 +362,28 @@ func (s *System) Serve(sample trace.Sample) (Response, error) {
 	s.paramMu.RLock()
 	prob := s.Node.Predict(sample)
 	s.paramMu.RUnlock()
+	t0 := s.tracer.StageStart(obs.StageCommit) // includes mutex wait: contention is the signal
 	s.mu.Lock()
 	latency := s.Node.Commit(sample)
 	s.afterCommitLocked()
 	s.mu.Unlock()
+	s.tracer.StageEnd(obs.StageCommit, t0)
+	s.observeServe(latency)
 	return Response{Prob: prob, Latency: latency}, nil
+}
+
+// observeServe feeds one committed request's already-computed virtual
+// latency to the telemetry instruments. Pure side-band: it runs after the
+// bookkeeping tail, off every lock, and writes nothing deterministic.
+func (s *System) observeServe(latency float64) {
+	if s.obsServed == nil {
+		return
+	}
+	s.obsServed.Inc()
+	if latency > s.Opts.Node.SLA {
+		s.obsViol.Inc()
+	}
+	s.obsLatency.Observe(latency)
 }
 
 // ServeBatch serves samples in order on this node — the batch-amortized fast
@@ -374,12 +425,19 @@ func (s *System) ServeBatch(samples []trace.Sample, resps []Response) error {
 	}
 	*pb = probs[:0]
 	batchProbsPool.Put(pb)
+	t0 := s.tracer.StageStart(obs.StageCommit) // one commit span per batch
 	s.mu.Lock()
 	for i := range samples {
 		resps[i].Latency = s.Node.Commit(samples[i])
 		s.afterCommitLocked()
 	}
 	s.mu.Unlock()
+	s.tracer.StageEnd(obs.StageCommit, t0)
+	if s.obsServed != nil {
+		for i := range resps {
+			s.observeServe(resps[i].Latency)
+		}
+	}
 	return nil
 }
 
@@ -448,6 +506,11 @@ func (s *System) LatencyWindow() []float64 {
 	defer s.mu.Unlock()
 	return s.Node.LatencySamples()
 }
+
+// Telemetry returns the telemetry this node was built with (nil when
+// observability is off). Export surfaces and the load driver discover it via
+// interface assertion, the same pattern as DefaultBatchSize.
+func (s *System) Telemetry() *obs.Telemetry { return s.tel }
 
 // DefaultBatchSize returns the serving-batch hint configured at construction
 // (0 = unbatched). The load driver uses it when its own configuration does
@@ -566,6 +629,7 @@ func (s *System) trainTick() {
 		}
 	}
 	s.trainSteps++
+	s.obsTicks.Inc()
 }
 
 // TrainSteps returns the number of co-located training ticks executed.

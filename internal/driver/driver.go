@@ -59,6 +59,7 @@ import (
 	"liveupdate/internal/core"
 	"liveupdate/internal/fleet"
 	"liveupdate/internal/metrics"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/tensor"
 	"liveupdate/internal/trace"
 )
@@ -230,6 +231,21 @@ type Report struct {
 
 	PerWorker []WorkerStats // per-worker breakdown, in worker order
 	Final     core.Stats    // server stats snapshot taken after the drive
+
+	// Stages is the sampled wall-clock stage-latency breakdown of this
+	// drive (route, queue wait, forward, commit, sync publish), present only
+	// when the server carries telemetry with stage tracing enabled. Stages
+	// that recorded no spans during the drive are omitted. Wall-clock
+	// measurements: not part of the determinism contract.
+	Stages []StageStat
+}
+
+// StageStat is one pipeline stage's sampled wall-clock timing over a drive.
+type StageStat struct {
+	Stage   string  // stage name (obs.Stage.String())
+	Count   uint64  // sampled spans recorded during the drive
+	TotalNs int64   // summed span duration, nanoseconds
+	MeanNs  float64 // TotalNs / Count
 }
 
 // AppliedEvent records one chaos event's application point.
@@ -348,6 +364,16 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 		} else {
 			batchCap = 1
 		}
+	}
+
+	// Stage-breakdown baseline: when the server carries telemetry with stage
+	// tracing on, the report diffs the tracer's per-stage aggregates across
+	// the drive, so Stages covers this drive only — not whatever ran before.
+	var driveTracer *obs.Tracer
+	var stagesBefore [obs.NumStages]obs.StageAgg
+	if tp, ok := srv.(interface{ Telemetry() *obs.Telemetry }); ok {
+		driveTracer = tp.Telemetry().Tracer()
+		stagesBefore = driveTracer.StageTotals()
 	}
 
 	var elastic Elastic
@@ -626,5 +652,21 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 	rep.SyncPublishSeconds = rep.Final.SyncPublishSeconds
 	rep.SyncWireBytes = rep.Final.SyncWireBytes
 	rep.SyncCompressSeconds = rep.Final.SyncCompressSeconds
+	if driveTracer != nil {
+		after := driveTracer.StageTotals()
+		for s := 0; s < obs.NumStages; s++ {
+			count := after[s].Count - stagesBefore[s].Count
+			if count == 0 {
+				continue
+			}
+			total := after[s].SumNs - stagesBefore[s].SumNs
+			rep.Stages = append(rep.Stages, StageStat{
+				Stage:   obs.Stage(s).String(),
+				Count:   count,
+				TotalNs: total,
+				MeanNs:  float64(total) / float64(count),
+			})
+		}
+	}
 	return rep, driveErr
 }

@@ -110,7 +110,6 @@ type LatencyTracker struct {
 	window  int
 	samples []float64
 	next    int
-	full    bool
 	count   uint64
 	sum     float64
 }
@@ -131,7 +130,6 @@ func (t *LatencyTracker) Observe(v float64) {
 		t.samples = append(t.samples, v)
 		return
 	}
-	t.full = true
 	t.samples[t.next] = v
 	t.next = (t.next + 1) % t.window
 }
@@ -167,7 +165,6 @@ func (t *LatencyTracker) Samples() []float64 {
 func (t *LatencyTracker) Reset() {
 	t.samples = t.samples[:0]
 	t.next = 0
-	t.full = false
 	t.count = 0
 	t.sum = 0
 }
@@ -189,13 +186,25 @@ func NewHistogram(min, max float64, n int) *Histogram {
 	return &Histogram{Min: min, Max: max, Counts: make([]uint64, n), width: (max - min) / float64(n)}
 }
 
-// Observe adds one value.
+// Observe adds one value. NaN is dropped; ±Inf clamps to the edge buckets.
+// The range check happens on the float side: converting a NaN or out-of-range
+// float to int is unspecified in Go, so `int((v-Min)/width)` on such inputs
+// could land in an arbitrary bucket.
 func (h *Histogram) Observe(v float64) {
-	b := int((v - h.Min) / h.width)
-	if b < 0 {
+	if math.IsNaN(v) {
+		return
+	}
+	var b int
+	switch {
+	case v < h.Min:
 		b = 0
-	} else if b >= len(h.Counts) {
+	case v >= h.Max:
 		b = len(h.Counts) - 1
+	default:
+		if b = int((v - h.Min) / h.width); b >= len(h.Counts) {
+			// Float rounding at the upper edge can overshoot by one.
+			b = len(h.Counts) - 1
+		}
 	}
 	h.Counts[b]++
 	h.total++

@@ -319,3 +319,50 @@ func TestPropertyQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramNonFiniteInputs(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Observe(math.NaN())
+	if h.Total() != 0 {
+		t.Fatalf("NaN was counted: total = %d, counts = %v", h.Total(), h.Counts)
+	}
+	h.Observe(math.Inf(1))
+	if h.Counts[9] != 1 {
+		t.Fatalf("+Inf must clamp to the last bucket: %v", h.Counts)
+	}
+	h.Observe(math.Inf(-1))
+	if h.Counts[0] != 1 {
+		t.Fatalf("-Inf must clamp to the first bucket: %v", h.Counts)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("total = %d, want 2", h.Total())
+	}
+	// The exact upper edge belongs to the last bucket, never out of range.
+	h.Observe(10)
+	if h.Counts[9] != 2 {
+		t.Fatalf("max edge must land in the last bucket: %v", h.Counts)
+	}
+}
+
+func TestLatencyTrackerWrapKeepsWindowStats(t *testing.T) {
+	// Regression for the removal of the dead `full` flag: wrapping the
+	// window must keep Count/Mean over all samples while quantiles reflect
+	// only the retained window.
+	tr := NewLatencyTracker(4)
+	for i := 1; i <= 8; i++ {
+		tr.Observe(float64(i))
+	}
+	if tr.Count() != 8 {
+		t.Fatalf("count = %d, want 8", tr.Count())
+	}
+	if got, want := tr.Mean(), 4.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// Window retains {5,6,7,8}.
+	if got := tr.P50(); got < 5 || got > 8 {
+		t.Fatalf("P50 = %v, want within retained window [5,8]", got)
+	}
+	if s := tr.Samples(); len(s) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(s))
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"liveupdate/internal/obs"
 )
 
 // Admission control for the wire front end: a connection limiter on the
@@ -38,6 +40,15 @@ type Config struct {
 	// cannot possibly meet its latency target is cheaper to reject at the
 	// door than to serve late. 0 disables budget shedding.
 	SLABudget time.Duration
+
+	// Telemetry attaches an observability surface to the gateway: the wire
+	// admission ledger registers into its metrics registry, queue waits are
+	// traced as spans, and the gateway exports GET /metrics, /debug/vars,
+	// /trace (and, when Telemetry.Config().Pprof is set, /debug/pprof/).
+	// Nil means a private registry-only Telemetry: the scrape endpoints
+	// still answer, without stage tracing or pprof. The public API wires
+	// this via liveupdate.WithTelemetry.
+	Telemetry *obs.Telemetry
 }
 
 // Admission defaults.

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"liveupdate/internal/core"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/trace"
 )
 
@@ -67,6 +69,12 @@ type Gateway struct {
 
 	eps map[string]*epMetrics // keyed by endpoint path
 
+	// tel is never nil (a private registry-only Telemetry is created when
+	// Config.Telemetry is absent), so the observability endpoints always
+	// answer; tracer is nil unless stage tracing was enabled.
+	tel    *obs.Telemetry
+	tracer *obs.Tracer
+
 	closeOnce sync.Once
 	closeErr  error
 	done      chan struct{} // closed when the accept loop exits
@@ -98,12 +106,34 @@ func New(inner Server, ln net.Listener, cfg Config) (*Gateway, error) {
 		},
 	}
 	g.batch, _ = inner.(batchServer)
+	g.tel = cfg.Telemetry
+	if g.tel == nil {
+		g.tel = obs.New(obs.Config{}) // registry only: scrape endpoints always answer
+	}
+	g.tracer = g.tel.Tracer()
+	g.registerWireInstruments()
 
+	// Observability endpoints never pass through g.admit: they must answer
+	// while /serve sheds 429s — watching an overload is the point. Only the
+	// serving endpoints consume admission tickets.
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /serve", g.handleServe)
 	mux.HandleFunc("POST /serve.bin", g.handleServeBin)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /info", g.handleInfo)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", g.handleVars)
+	mux.HandleFunc("GET /trace", g.handleTrace)
+	if g.tel.Config().Pprof {
+		// Opt-in: profiling endpoints are a debug surface. Mounted on the
+		// gateway's own mux (not DefaultServeMux), admission-exempt like the
+		// other observability handlers.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	g.hs = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -118,6 +148,32 @@ func New(inner Server, ln net.Listener, cfg Config) (*Gateway, error) {
 	}()
 	return g, nil
 }
+
+// registerWireInstruments exposes the admission ledger through the metrics
+// registry: per-endpoint accepted/shed counters plus gate occupancy gauges,
+// all reading the same lock-free atomics (or the brief gate mutex) the
+// ledger already keeps — a scrape never touches a serving lock.
+func (g *Gateway) registerWireInstruments() {
+	reg := g.tel.Registry()
+	slugger := strings.NewReplacer("/", "", ".", "_")
+	for path, m := range g.eps {
+		slug := slugger.Replace(path) // "/serve" → "serve", "/serve.bin" → "serve_bin"
+		reg.CounterFunc("liveupdate_wire_"+slug+"_accepted_total",
+			"Wire requests admitted and served on "+path+".", m.accepted.Load)
+		reg.CounterFunc("liveupdate_wire_"+slug+"_shed_total",
+			"Wire requests shed with 429 on "+path+".", m.shed.Load)
+	}
+	reg.GaugeFunc("liveupdate_wire_inflight",
+		"Wire requests being served right now (all endpoints).",
+		func() float64 { inflight, _ := g.gate.occupancy(); return float64(inflight) })
+	reg.GaugeFunc("liveupdate_wire_queued",
+		"Wire requests waiting in the admission queue.",
+		func() float64 { _, queued := g.gate.occupancy(); return float64(queued) })
+}
+
+// Telemetry returns the gateway's observability surface (never nil; a
+// registry-only Telemetry is created when none was configured).
+func (g *Gateway) Telemetry() *obs.Telemetry { return g.tel }
 
 // Addr returns the listener's address (useful with ":0" listeners).
 func (g *Gateway) Addr() net.Addr { return g.ln.Addr() }
@@ -168,9 +224,14 @@ func (g *Gateway) WireStats() []core.EndpointStats {
 // returns false after writing the 429 when the request is shed; on true the
 // caller MUST call the returned release func when serving finishes.
 func (g *Gateway) admit(w http.ResponseWriter, ep *epMetrics) (release func(), ok bool) {
+	// The queue-wait span brackets only an actual stay in the queue: the
+	// onQueued hook (run under the gate lock, cost: one atomic add and a
+	// clock read) opens it, onDequeued closes it. Requests admitted straight
+	// into an inflight slot record nothing.
+	var waitT0 int64
 	retry, reason := g.gate.enter(
-		func() { ep.queued.Add(1) },
-		func() { ep.queued.Add(-1) },
+		func() { ep.queued.Add(1); waitT0 = g.tracer.StageStart(obs.StageQueueWait) },
+		func() { g.tracer.StageEnd(obs.StageQueueWait, waitT0); ep.queued.Add(-1) },
 	)
 	if reason != "" {
 		ep.shed.Add(1)
@@ -266,6 +327,29 @@ func (g *Gateway) handleServeBin(w http.ResponseWriter, r *http.Request) {
 // NaN quantiles mapped to the wire sentinel.
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, SanitizeStats(g.Stats()))
+}
+
+// handleMetrics renders the metrics registry in Prometheus text format.
+// Strictly side-band: it reads registry instruments and lock-free gauges —
+// never the inner server's Stats(), whose fleet form drains the async sync
+// pipeline and would perturb a deterministic run mid-flight.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.tel.WriteMetrics(w)
+}
+
+// handleVars is the expvar-style JSON view of the same registry.
+func (g *Gateway) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = g.tel.WriteVars(w)
+}
+
+// handleTrace dumps the sampled span ring as Chrome trace-event JSON,
+// loadable in Perfetto. Empty (but valid) when stage tracing is off.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="liveupdate-trace.json"`)
+	_ = g.tel.WriteTrace(w)
 }
 
 // handleInfo returns the handshake payload.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"liveupdate/internal/core"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/trace"
 )
 
@@ -379,5 +380,170 @@ func TestGatewayServesInProcess(t *testing.T) {
 	}
 	if st := g.Stats(); st.Served != 1 || len(st.Wire) != 2 {
 		t.Fatalf("Stats %+v, want 1 served and a 2-endpoint wire ledger", st)
+	}
+}
+
+// TestMetricsAnswerDuringOverload is the observability-under-load gate:
+// while /serve sheds 429s (one inflight slot held by a slow request, queue
+// full), /metrics and /stats must still answer 200 — the scrape path never
+// passes through admission control.
+func TestMetricsAnswerDuringOverload(t *testing.T) {
+	stub := &stubServer{delay: 200 * time.Millisecond}
+	g := newTestGateway(t, stub, Config{MaxInflight: 1, QueueDepth: 1})
+	base := "http://" + g.Addr().String()
+
+	sample, _ := json.Marshal(trace.Sample{Time: 1})
+	const burst = 8
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/serve", "application/json", bytes.NewReader(sample))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Wait until the gate has demonstrably shed (overload in progress).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var shed uint64
+		for _, ep := range g.WireStats() {
+			shed += ep.Shed
+		}
+		if shed > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flash crowd never shed; cannot test overload behavior")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for _, path := range []string{"/metrics", "/stats", "/debug/vars"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s during overload: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s during overload: %s (want 200)", path, resp.Status)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s returned an empty body", path)
+		}
+		if path == "/metrics" {
+			out := string(body)
+			if !strings.Contains(out, "# TYPE liveupdate_wire_serve_shed_total counter") {
+				t.Fatalf("/metrics missing shed counter family:\n%s", out)
+			}
+			if strings.Contains(out, "liveupdate_wire_serve_shed_total 0\n") {
+				t.Fatalf("/metrics reports zero sheds mid-overload:\n%s", out)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestObservabilityEndpoints covers the telemetry export surfaces end to
+// end: Prometheus text on /metrics, expvar JSON on /debug/vars, a
+// Perfetto-loadable trace on /trace, and pprof behind the opt-in.
+func TestObservabilityEndpoints(t *testing.T) {
+	tel := obs.New(obs.Config{SampleEvery: 1, Pprof: true})
+	stub := &stubServer{}
+	g := newTestGateway(t, stub, Config{Telemetry: tel})
+	base := "http://" + g.Addr().String()
+
+	// Drive a few requests through admission so ledger counters move (none
+	// queue — the gate has headroom — so no queue_wait spans; record one
+	// span directly so /trace has content).
+	sample, _ := json.Marshal(trace.Sample{Time: 2})
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(base+"/serve", "application/json", bytes.NewReader(sample))
+		if err != nil {
+			t.Fatalf("POST /serve: %v", err)
+		}
+		resp.Body.Close()
+	}
+	tr := tel.Tracer()
+	tr.StageEnd(obs.StageQueueWait, tr.StageStart(obs.StageQueueWait))
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if !strings.Contains(string(body), "liveupdate_wire_serve_accepted_total 5\n") {
+		t.Fatalf("/metrics missing accepted counter = 5:\n%s", body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not valid JSON: %v", err)
+	}
+	if vars["liveupdate_wire_serve_accepted_total"] != float64(5) {
+		t.Fatalf("vars accepted = %v, want 5", vars["liveupdate_wire_serve_accepted_total"])
+	}
+
+	code, body = get("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: status %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/trace not valid JSON: %v", err)
+	}
+	complete := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatalf("/trace has no complete events:\n%s", body)
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline with Pprof on: status %d", code)
+	}
+
+	// Without the opt-in, pprof must NOT be mounted.
+	g2 := newTestGateway(t, stub, Config{})
+	resp, err := http.Get("http://" + g2.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof answered without the opt-in")
+	}
+	// The default gateway still serves the scrape surfaces.
+	resp, err = http.Get("http://" + g2.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics without explicit telemetry: %s", resp.Status)
 	}
 }

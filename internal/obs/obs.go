@@ -1,0 +1,102 @@
+// Package obs is the telemetry layer of the LiveUpdate reproduction: sampled
+// per-request stage tracing (route, admission queue wait, forward, commit,
+// sync-publish stall) into a preallocated lock-free span ring, plus a named
+// metrics registry (counters, gauges, histograms) that serving, cluster sync,
+// fleet membership, and netserve admission register into.
+//
+// Everything in this package is strictly a *side-band wall-clock observer*:
+// instruments count real events and spans time real nanoseconds, but nothing
+// here reads or mutates any virtual-time state. The determinism contract —
+// every virtual-time statistic bit-identical for any worker count, both sync
+// modes, under chaos — holds with telemetry on or off, and a test enforces it.
+//
+// Not to be confused with internal/trace, which generates *workload* traces
+// (the request streams replayed against the system); obs records *telemetry*
+// traces (where those requests spent their time).
+package obs
+
+import "io"
+
+// Config selects which telemetry surfaces are live.
+type Config struct {
+	// SampleEvery traces 1 in N stage timings (1 = every request). 0 or
+	// negative disables stage tracing entirely; the metrics registry is
+	// always on.
+	SampleEvery int
+
+	// SpanRing is the span ring capacity, rounded up to a power of two.
+	// 0 means the default (4096 spans).
+	SpanRing int
+
+	// Pprof exposes net/http/pprof handlers on gateways serving this
+	// telemetry. Off by default: profiling endpoints are a debug surface.
+	Pprof bool
+}
+
+// Telemetry bundles a metrics registry with an optional stage tracer. A nil
+// *Telemetry is valid everywhere and means "telemetry off": the accessors
+// return nil, and nil tracers/instruments no-op.
+type Telemetry struct {
+	cfg    Config
+	reg    *Registry
+	tracer *Tracer
+}
+
+// New builds a Telemetry from cfg. The registry is always created; the
+// tracer only when cfg.SampleEvery > 0.
+func New(cfg Config) *Telemetry {
+	t := &Telemetry{cfg: cfg, reg: NewRegistry()}
+	if cfg.SampleEvery > 0 {
+		t.tracer = NewTracer(cfg.SampleEvery, cfg.SpanRing)
+	}
+	return t
+}
+
+// Config returns the configuration this Telemetry was built with.
+func (t *Telemetry) Config() Config {
+	if t == nil {
+		return Config{}
+	}
+	return t.cfg
+}
+
+// Registry returns the metrics registry, or nil on a nil Telemetry.
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Tracer returns the stage tracer. Nil on a nil Telemetry or when tracing is
+// disabled — and a nil *Tracer is itself safe to call.
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// WriteMetrics renders every registered instrument in Prometheus text
+// exposition format.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return writePrometheus(w, t.reg.Snapshot())
+}
+
+// WriteVars renders the registry as an expvar-style JSON object.
+func (t *Telemetry) WriteVars(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	return writeVars(w, t.reg.Snapshot())
+}
+
+// WriteTrace dumps the span ring as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Telemetry) WriteTrace(w io.Writer) error {
+	return writeChromeTrace(w, t.Tracer())
+}

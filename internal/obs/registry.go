@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"liveupdate/internal/metrics"
+)
+
+// Kind is the instrument class of a registered metric.
+type Kind uint8
+
+const (
+	// KindCounter is a monotone uint64 counter.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous float64 value.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution with sum and count.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a registered monotone counter. The hot path is one atomic add;
+// a nil *Counter (telemetry off) no-ops.
+type Counter struct {
+	c metrics.Counter
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.c.Inc()
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.c.Add(n)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.c.Load()
+}
+
+// Histogram is a registered fixed-bucket histogram with a running sum, built
+// on metrics.Histogram. Observe takes one short mutex hold and does not
+// allocate; a nil *Histogram no-ops.
+type Histogram struct {
+	mu  sync.Mutex
+	h   *metrics.Histogram
+	sum float64
+}
+
+// Observe records one value. NaN is dropped (matching metrics.Histogram);
+// ±Inf clamps into the edge buckets and poisons the sum, as in standard
+// Prometheus client behavior.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a consistent copy of a histogram's state.
+type HistSnapshot struct {
+	Min, Max float64
+	Buckets  []uint64 // per-bucket (non-cumulative) counts
+	Sum      float64
+	Count    uint64
+}
+
+// UpperEdge returns the upper boundary of bucket i. The last bucket absorbs
+// everything ≥ Max, so its rendered edge is Max (the +Inf bucket follows in
+// the exposition format).
+func (s *HistSnapshot) UpperEdge(i int) float64 {
+	width := (s.Max - s.Min) / float64(len(s.Buckets))
+	return s.Min + width*float64(i+1)
+}
+
+func (h *Histogram) snapshot() *HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return &HistSnapshot{
+		Min:     h.h.Min,
+		Max:     h.h.Max,
+		Buckets: append([]uint64(nil), h.h.Counts...),
+		Sum:     h.sum,
+		Count:   h.h.Total(),
+	}
+}
+
+// Metric is one instrument's state as captured by Registry.Snapshot.
+type Metric struct {
+	Name string
+	Help string
+	Kind Kind
+	// Value is the counter or gauge reading; unused for histograms.
+	Value float64
+	// Hist is set only for histograms.
+	Hist *HistSnapshot
+}
+
+type instrument struct {
+	name    string
+	help    string
+	kind    Kind
+	counter *Counter
+	countFn func() uint64
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry is a named instrument table. Registration is get-or-create by
+// name: N cluster replicas registering "serve_requests_total" share one
+// fleet-wide counter, and a replica rejoining after a failure re-binds to
+// the existing instrument instead of panicking. Kind conflicts panic — they
+// are programming errors.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*instrument)}
+}
+
+func (r *Registry) getOrCreate(name, help string, kind Kind) (*instrument, bool) {
+	ins, ok := r.byName[name]
+	if ok {
+		if ins.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, ins.kind))
+		}
+		return ins, false
+	}
+	ins = &instrument{name: name, help: help, kind: kind}
+	r.byName[name] = ins
+	return ins, true
+}
+
+// Counter registers (or finds) a monotone counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ins, created := r.getOrCreate(name, help, KindCounter)
+	if created {
+		ins.counter = &Counter{}
+	}
+	return ins.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at snapshot
+// time — for sources that already keep their own atomic tallies (admission
+// ledgers, fleet membership counters). First registration wins.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ins, created := r.getOrCreate(name, help, KindCounter)
+	if created {
+		ins.countFn = fn
+	}
+}
+
+// GaugeFunc registers a gauge read from fn at snapshot time. First
+// registration wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ins, created := r.getOrCreate(name, help, KindGauge)
+	if created {
+		ins.gaugeFn = fn
+	}
+}
+
+// Histogram registers (or finds) a histogram with n fixed-width buckets over
+// [min, max).
+func (r *Registry) Histogram(name, help string, min, max float64, n int) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ins, created := r.getOrCreate(name, help, KindHistogram)
+	if created {
+		ins.hist = &Histogram{h: metrics.NewHistogram(min, max, n)}
+	}
+	return ins.hist
+}
+
+// Snapshot reads every instrument, sorted by name. Function-backed
+// instruments are invoked here, on the scraper's goroutine — never on a
+// serving path.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	list := make([]*instrument, 0, len(r.byName))
+	for _, ins := range r.byName {
+		list = append(list, ins)
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(a, b int) bool { return list[a].name < list[b].name })
+
+	out := make([]Metric, 0, len(list))
+	for _, ins := range list {
+		m := Metric{Name: ins.name, Help: ins.help, Kind: ins.kind}
+		switch {
+		case ins.counter != nil:
+			m.Value = float64(ins.counter.Load())
+		case ins.countFn != nil:
+			m.Value = float64(ins.countFn())
+		case ins.gaugeFn != nil:
+			m.Value = ins.gaugeFn()
+		case ins.hist != nil:
+			m.Hist = ins.hist.snapshot()
+		}
+		out = append(out, m)
+	}
+	return out
+}

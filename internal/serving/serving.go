@@ -12,6 +12,7 @@ import (
 	"liveupdate/internal/dlrm"
 	"liveupdate/internal/metrics"
 	"liveupdate/internal/numasim"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/simnet"
 	"liveupdate/internal/tensor"
 	"liveupdate/internal/trace"
@@ -145,6 +146,10 @@ type Node struct {
 	Ring    *RingBuffer
 	Lat     *metrics.LatencyTracker
 
+	// Trace, when non-nil, records sampled wall-clock forward-stage spans.
+	// A nil tracer no-ops, so the unobserved fast path pays one branch.
+	Trace *obs.Tracer
+
 	// served and violations are atomic so fleet-level code (merged stats,
 	// progress reporting) can read them without taking the owning replica's
 	// serve lock. All other Node state is guarded by the owner (core.System).
@@ -185,7 +190,10 @@ func MustNewNode(cfg NodeConfig, model *dlrm.Model, emb dlrm.EmbeddingSource,
 // pooled forward scratch with zero heap allocations, and is safe concurrently
 // with Commit, Stats reads, and adapter publishes on the same node.
 func (n *Node) Predict(s trace.Sample) float64 {
-	return n.Model.Predict(n.Emb, s.Dense, s.Sparse)
+	t0 := n.Trace.StageStart(obs.StageForward)
+	p := n.Model.Predict(n.Emb, s.Dense, s.Sparse)
+	n.Trace.StageEnd(obs.StageForward, t0)
+	return p
 }
 
 // PredictWith is Predict through a caller-owned scratch — the batched form:
@@ -261,7 +269,9 @@ func (n *Node) PredictBatch(samples []trace.Sample, probs []float64) {
 		v.dense = append(v.dense, samples[i].Dense)
 		v.sparse = append(v.sparse, samples[i].Sparse)
 	}
+	t0 := n.Trace.StageStart(obs.StageForward) // one forward span per batch
 	n.Model.PredictBatch(n.Emb, v.dense, v.sparse, probs, nil)
+	n.Trace.StageEnd(obs.StageForward, t0)
 	viewPool.Put(v)
 }
 

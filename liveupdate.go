@@ -64,12 +64,13 @@ import (
 	"liveupdate/internal/netclient"
 	"liveupdate/internal/netserve"
 	"liveupdate/internal/numasim"
+	"liveupdate/internal/obs"
 	"liveupdate/internal/trace"
 	"liveupdate/internal/update"
 )
 
 // Version identifies this reproduction release.
-const Version = "2.5.0"
+const Version = "2.6.0"
 
 // Server is the unified serving abstraction: one request in, a scored
 // response out, plus a consistent statistics snapshot. Both the single-node
@@ -310,6 +311,7 @@ type config struct {
 	overrides []func(*core.Options)
 	listener  net.Listener
 	admission AdmissionConfig
+	telemetry *obs.Telemetry
 }
 
 // WithProfile selects the dataset/workload profile (required unless a legacy
@@ -542,6 +544,58 @@ func WithAdmission(cfg AdmissionConfig) Option {
 	})
 }
 
+// WithTelemetry attaches the fleet telemetry layer to the Server: a named
+// metrics registry that serving, cluster sync, fleet membership, and — under
+// WithListener — wire admission register into, plus (when cfg.SampleEvery > 0)
+// sampled per-request stage tracing (route, admission queue wait, forward,
+// commit, sync-publish stall) into a preallocated lock-free span ring.
+//
+// Telemetry is strictly a side-band wall-clock observer: it never reads or
+// mutates virtual-time state, so every virtual-time statistic stays
+// bit-identical with telemetry on or off (a test enforces this). The traced
+// hot path allocates nothing; sampling costs one atomic increment per stage.
+//
+// Reach the surface with ServerTelemetry (scrape programmatically, dump a
+// Perfetto trace) or over the wire: a WithListener gateway exports
+// GET /metrics (Prometheus text), GET /debug/vars (expvar-style JSON),
+// GET /trace (Chrome trace-event JSON, loadable at ui.perfetto.dev), and —
+// only when cfg.Pprof is set — net/http/pprof under /debug/pprof/. All
+// observability endpoints bypass admission control: they answer even while
+// /serve sheds 429s. Drive reports a per-stage latency breakdown
+// (DriveReport.Stages) when the driven Server carries a tracer.
+func WithTelemetry(cfg TelemetryConfig) Option {
+	return optionFunc(func(c *config) error {
+		c.telemetry = obs.New(cfg)
+		return nil
+	})
+}
+
+// TelemetryConfig configures WithTelemetry: SampleEvery traces 1 in N
+// requests per stage (0 disables tracing; the metrics registry is always on),
+// SpanRing sizes the span ring (default 4096), Pprof opts the gateway into
+// /debug/pprof/. See internal/obs.Config for field semantics.
+type TelemetryConfig = obs.Config
+
+// Telemetry is a Server's observability surface: the metrics registry, the
+// stage tracer, and the export writers (WriteMetrics, WriteVars, WriteTrace).
+// A nil *Telemetry is valid everywhere and means "telemetry off".
+type Telemetry = obs.Telemetry
+
+// DriveStageStat is one pipeline stage's sampled wall-clock timing over a
+// drive, carried in DriveReport.Stages when the driven Server has tracing
+// enabled (WithTelemetry with SampleEvery > 0).
+type DriveStageStat = driver.StageStat
+
+// ServerTelemetry returns srv's telemetry surface, or nil when the Server
+// carries none (constructed without WithTelemetry). Works on every topology:
+// System, Cluster, and Gateway.
+func ServerTelemetry(srv Server) *Telemetry {
+	if p, ok := srv.(interface{ Telemetry() *obs.Telemetry }); ok {
+		return p.Telemetry()
+	}
+	return nil
+}
+
 // AdmissionConfig is the wire front end's admission policy: MaxConns bounds
 // accepted connections, MaxInflight bounds concurrently served wire
 // requests, QueueDepth bounds the FIFO wait queue, and SLABudget (when
@@ -637,6 +691,9 @@ func New(opts ...Option) (Server, error) {
 	for _, edit := range c.overrides {
 		edit(&base)
 	}
+	if c.telemetry != nil {
+		base.Telemetry = c.telemetry
+	}
 	var srv Server
 	if c.replicas == 1 {
 		if len(c.chaos) > 0 {
@@ -669,6 +726,9 @@ func New(opts ...Option) (Server, error) {
 		srv = cl
 	}
 	if c.listener != nil {
+		if c.admission.Telemetry == nil {
+			c.admission.Telemetry = c.telemetry
+		}
 		return netserve.New(srv, c.listener, c.admission)
 	}
 	return srv, nil
