@@ -18,6 +18,9 @@
 //
 //	liveupdate-serve -telemetry -trace-out spans.json            # stage table + Perfetto trace
 //	liveupdate-serve -listen :7070 -telemetry -pprof             # live /metrics, /debug/vars, /trace, /debug/pprof/
+//
+//	liveupdate-serve -listen :7070 -fault-plan "reset(p=0.05);latency(p=0.2,max=5ms)" -fault-seed 7
+//	                                                             # deterministic wire chaos; clients must retry through it
 package main
 
 import (
@@ -78,6 +81,12 @@ func main() {
 		"server mode: admission queue depth; arrivals past it are shed with 429 (0 = default 64)")
 	slaBudget := flag.Duration("sla-budget", 0,
 		"server mode: shed arrivals whose predicted queueing delay exceeds this budget (0 = disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 0,
+		"server mode: graceful-shutdown grace for in-flight and queued requests before force-close (0 = default 5s)")
+	faultPlanStr := flag.String("fault-plan", "",
+		"server mode: arm deterministic network chaos on every accepted connection, e.g. \"latency(p=0.2,min=1ms,max=20ms);reset(p=0.05)\" (classes: latency, reset, blackhole, truncate, corrupt; empty = off)")
+	faultSeed := flag.Uint64("fault-seed", 1,
+		"server mode: seed for -fault-plan; the same seed replays the same per-connection fault sequence")
 	telemetry := flag.Bool("telemetry", false,
 		"attach the telemetry layer: fleet metrics registry plus sampled per-request stage tracing; prints a stage latency table after a local drive, and with -listen exports GET /metrics, /debug/vars, /trace")
 	traceSample := flag.Int("trace-sample", 1,
@@ -148,6 +157,20 @@ func main() {
 	if _, err := liveupdate.ParseQuantization(*quant); err != nil {
 		usagef("-quant must be one of %v, got %q", liveupdate.Quantizations(), *quant)
 	}
+	faultPlan, err := liveupdate.ParseFaultPlan(*faultPlanStr)
+	if err != nil {
+		usagef("-fault-plan: %v", err)
+	}
+	faultPlan.Seed = *faultSeed
+	if faultPlan.Enabled() && *listen == "" {
+		fatalf("-fault-plan injects faults on the wire: set -listen")
+	}
+	if *drainTimeout < 0 {
+		fatalf("-drain-timeout must be non-negative, got %v", *drainTimeout)
+	}
+	if *drainTimeout > 0 && *listen == "" {
+		fatalf("-drain-timeout shapes the wire gateway's graceful shutdown: set -listen")
+	}
 
 	var chaos liveupdate.ChaosSchedule
 	if *chaosScript != "" {
@@ -209,17 +232,21 @@ func main() {
 		opts = append(opts,
 			liveupdate.WithListener(ln),
 			liveupdate.WithAdmission(liveupdate.AdmissionConfig{
-				MaxConns:    *maxConns,
-				MaxInflight: *maxInflight,
-				QueueDepth:  *queueDepth,
-				SLABudget:   *slaBudget,
+				MaxConns:     *maxConns,
+				MaxInflight:  *maxInflight,
+				QueueDepth:   *queueDepth,
+				SLABudget:    *slaBudget,
+				DrainTimeout: *drainTimeout,
 			}))
+		if faultPlan.Enabled() {
+			opts = append(opts, liveupdate.WithFaultInjection(faultPlan))
+		}
 		srv, err := liveupdate.New(opts...)
 		if err != nil {
 			ln.Close()
 			fatalf("%v", err)
 		}
-		runServer(srv.(*liveupdate.Gateway), *replicas, *telemetry, *pprofFlag, *traceOut)
+		runServer(srv.(*liveupdate.Gateway), *replicas, *telemetry, *pprofFlag, *traceOut, faultPlan)
 		return
 	}
 
@@ -357,10 +384,13 @@ func dumpTrace(srv liveupdate.Server, path string) {
 // runServer is -listen mode: the gateway is already accepting; hold the
 // process open until SIGINT/SIGTERM, then print the final statistics —
 // including the wire admission ledger — and shut down gracefully.
-func runServer(gw *liveupdate.Gateway, replicas int, telemetry, pprofOn bool, traceOut string) {
+func runServer(gw *liveupdate.Gateway, replicas int, telemetry, pprofOn bool, traceOut string, faultPlan liveupdate.FaultPlan) {
 	fmt.Printf("liveupdate-serve %s: listening on %s (replicas=%d)\n",
 		liveupdate.Version, gw.Addr(), replicas)
 	fmt.Println("drive me from another process: liveupdate-serve -connect", gw.Addr())
+	if faultPlan.Enabled() {
+		fmt.Printf("fault injection armed (seed %d): %s\n", faultPlan.Seed, faultPlan)
+	}
 	if telemetry {
 		extra := ""
 		if pprofOn {
@@ -461,9 +491,12 @@ func runClient(addr string, cfg clientConfig) {
 		shed += ep.Shed
 	}
 	// One greppable line for scripts (CI asserts on it): totals across
-	// endpoints, plus the client's view of the sheds it retried through.
-	fmt.Printf("wire-total: accepted=%d shed=%d client-retries=%d retry-wait=%s\n",
-		accepted, shed, remote.Shed429(), remote.RetryWait().Round(time.Millisecond))
+	// endpoints, plus the client's view of the sheds and faults it retried
+	// through and the requests it abandoned (gaveup must be 0 for a drive
+	// that returned without error).
+	fmt.Printf("wire-total: accepted=%d shed=%d client-retries=%d transport-retries=%d gaveup=%d retry-wait=%s\n",
+		accepted, shed, remote.Shed429(), remote.TransportRetries(), remote.GaveUp(),
+		remote.RetryWait().Round(time.Millisecond))
 }
 
 // printWireTable renders the per-endpoint admission ledger.

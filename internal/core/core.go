@@ -337,11 +337,12 @@ type Stats struct {
 // gauges at snapshot time. A batched wire request counts once regardless of
 // how many samples it carries.
 type EndpointStats struct {
-	Endpoint string // request path ("/serve", "/serve.bin")
-	Accepted uint64 // wire requests admitted and served
-	Shed     uint64 // wire requests rejected with 429 + Retry-After
-	Inflight int    // wire requests being served right now
-	Queued   int    // wire requests waiting in the admission queue
+	Endpoint  string // request path ("/serve", "/serve.bin")
+	Accepted  uint64 // wire requests admitted into the serving path
+	Completed uint64 // accepted requests whose serve finished (== Accepted after a clean drain)
+	Shed      uint64 // wire requests rejected with 429 + Retry-After
+	Inflight  int    // wire requests being served right now
+	Queued    int    // wire requests waiting in the admission queue
 }
 
 // Serve processes one request through the serving path, interleaving

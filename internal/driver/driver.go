@@ -397,6 +397,13 @@ func Drive(ctx context.Context, srv Server, next func() trace.Sample, cfg Config
 	// serve error without overloading the caller's context.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// A context-aware server (the network client) gets the drive context so
+	// its retry sleeps and per-attempt deadlines die with the drive. Rebind
+	// Background on exit: post-drive calls must outlive this cancel.
+	if cb, ok := srv.(interface{ BindContext(context.Context) }); ok {
+		cb.BindContext(ctx)
+		defer cb.BindContext(context.Background())
+	}
 	var (
 		errOnce  sync.Once
 		driveErr error

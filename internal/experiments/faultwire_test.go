@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestFaultwire runs the chaos experiment in quick mode. The experiment
+// asserts its own invariants (ledger reconciliation, drain completeness,
+// virtual-time identity) and returns an error on any violation, so most of
+// the value is simply that run() does not fail; the checks below pin the
+// report shape and that chaos actually happened.
+func TestFaultwire(t *testing.T) {
+	rep := run(t, "faultwire")
+	// One in-process baseline row, one fault-free wire row, one per class.
+	if len(rep.Rows) != 7 {
+		t.Fatalf("faultwire rows %d, want 7", len(rep.Rows))
+	}
+	for i := 1; i < len(rep.Rows); i++ {
+		if got := cell(t, rep, i, "gaveUp"); got != "0" {
+			t.Fatalf("row %q gave up %s requests", rep.Rows[i][0], got)
+		}
+		if got := cell(t, rep, i, "virtIdentical"); got != "true" {
+			t.Fatalf("row %q virtual stats diverged", rep.Rows[i][0])
+		}
+	}
+	// The fault-free wire row must inject nothing; every fault row must
+	// actually inject — a plan that never fires proves nothing.
+	if got := cell(t, rep, 1, "faults"); got != "0" {
+		t.Fatalf("fault-free wire row injected %s faults", got)
+	}
+	for i := 2; i < len(rep.Rows); i++ {
+		if got := cell(t, rep, i, "faults"); got == "0" {
+			t.Fatalf("row %q injected no faults — plan never fired", rep.Rows[i][0])
+		}
+	}
+}

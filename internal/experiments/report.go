@@ -125,6 +125,7 @@ func Registry() map[string]Runner {
 		"syncpipe":  Syncpipe,
 		"elastic":   Elastic,
 		"wire":      Wire,
+		"faultwire": Faultwire,
 		"syncscale": SyncScale,
 		"kernels":   Kernels,
 	}
@@ -135,8 +136,8 @@ func IDs() []string {
 	return []string{
 		"table2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig14", "table3", "fig15", "fig16",
-		"fig17", "fig18", "fig19", "syncpipe", "elastic", "wire", "syncscale",
-		"kernels",
+		"fig17", "fig18", "fig19", "syncpipe", "elastic", "wire", "faultwire",
+		"syncscale", "kernels",
 	}
 }
 

@@ -1,0 +1,166 @@
+package faultnet
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"liveupdate/internal/tensor"
+)
+
+// Transport is the client-side fault shim: an http.RoundTripper that rolls
+// the plan once per request. Latency delays the request; Reset and Blackhole
+// fail it before it is sent (so the server never sees it); Truncate and
+// Corrupt let the request through and then damage the response body — which
+// means the server HAS served the request once, and a retry duplicates it.
+// Use Transport for client-resilience tests that tolerate duplicate serves;
+// use the Listener side when virtual-time stats must stay bit-identical.
+type Transport struct {
+	base http.RoundTripper
+
+	mu   sync.Mutex
+	rng  *tensor.RNG
+	plan Plan
+
+	counters Counters
+}
+
+// WrapRoundTripper wraps base (nil means http.DefaultTransport) with the
+// plan. The RNG stream is seeded from the plan seed alone: the client side
+// has no accept order, so request order is the replay axis.
+func WrapRoundTripper(base http.RoundTripper, plan Plan) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, rng: tensor.NewRNG(connSeed(plan.Seed, 0)), plan: plan}
+}
+
+// FaultsTotal returns the number of faults injected so far.
+func (t *Transport) FaultsTotal() uint64 { return t.counters.Total() }
+
+// Counters exposes the per-class tallies.
+func (t *Transport) Counters() *Counters { return &t.counters }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	var fault *Fault
+	for i := range t.plan.Faults {
+		if t.rng.Float64() < t.plan.Faults[i].P {
+			fault = &t.plan.Faults[i]
+			break
+		}
+	}
+	var delay time.Duration
+	var corruptSeed uint64
+	if fault != nil {
+		t.counters.hit(fault.Class)
+		switch fault.Class {
+		case Latency:
+			if span := fault.Max - fault.Min; span > 0 {
+				delay = fault.Min + time.Duration(t.rng.Uint64()%uint64(span+1))
+			} else {
+				delay = fault.Min
+			}
+		case Corrupt:
+			corruptSeed = t.rng.Uint64()
+		}
+	}
+	t.mu.Unlock()
+
+	if fault == nil {
+		return t.base.RoundTrip(req)
+	}
+	switch fault.Class {
+	case Latency:
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+
+	case Reset:
+		return nil, &InjectedError{Class: Reset}
+
+	case Blackhole:
+		timer := time.NewTimer(fault.Stall)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+		return nil, &InjectedError{Class: Blackhole}
+
+	case Truncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		keep := fault.Bytes
+		if keep <= 0 {
+			keep = 16
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remain: keep}
+		return resp, nil
+
+	case Corrupt:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &corruptBody{rc: resp.Body, rng: tensor.NewRNG(corruptSeed), bits: fault.Bits}
+		return resp, nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+// truncatedBody delivers at most remain bytes, then fails the stream the way
+// a dropped connection mid-body would.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (t *truncatedBody) Read(b []byte) (int, error) {
+	if t.remain <= 0 {
+		return 0, &InjectedError{Class: Truncate}
+	}
+	if len(b) > t.remain {
+		b = b[:t.remain]
+	}
+	n, err := t.rc.Read(b)
+	t.remain -= n
+	if err == nil && t.remain <= 0 {
+		err = &InjectedError{Class: Truncate}
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }
+
+// corruptBody flips bits (at most once per Read chunk) in the response body.
+type corruptBody struct {
+	rc   io.ReadCloser
+	rng  *tensor.RNG
+	bits int
+	done bool
+}
+
+func (c *corruptBody) Read(b []byte) (int, error) {
+	n, err := c.rc.Read(b)
+	if n > 0 && !c.done {
+		c.done = true
+		for i := 0; i < c.bits; i++ {
+			pos := c.rng.Intn(n * 8)
+			b[pos/8] ^= 1 << uint(pos%8)
+		}
+	}
+	return n, err
+}
+
+func (c *corruptBody) Close() error { return c.rc.Close() }

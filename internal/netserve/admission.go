@@ -41,6 +41,12 @@ type Config struct {
 	// door than to serve late. 0 disables budget shedding.
 	SLABudget time.Duration
 
+	// DrainTimeout bounds the graceful drain on Close: the gateway stops
+	// accepting, finishes in-flight requests for up to this long, then force
+	// closes whatever remains. 0 defaults to DefaultDrainTimeout; negative
+	// is invalid.
+	DrainTimeout time.Duration
+
 	// Telemetry attaches an observability surface to the gateway: the wire
 	// admission ledger registers into its metrics registry, queue waits are
 	// traced as spans, and the gateway exports GET /metrics, /debug/vars,
@@ -53,8 +59,9 @@ type Config struct {
 
 // Admission defaults.
 const (
-	DefaultMaxConns   = 256
-	DefaultQueueDepth = 64
+	DefaultMaxConns     = 256
+	DefaultQueueDepth   = 64
+	DefaultDrainTimeout = 5 * time.Second
 )
 
 // withDefaults resolves zero values and validates.
@@ -68,6 +75,8 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("netserve: QueueDepth must be non-negative, got %d", c.QueueDepth)
 	case c.SLABudget < 0:
 		return c, fmt.Errorf("netserve: SLABudget must be non-negative, got %v", c.SLABudget)
+	case c.DrainTimeout < 0:
+		return c, fmt.Errorf("netserve: DrainTimeout must be non-negative, got %v", c.DrainTimeout)
 	}
 	if c.MaxConns == 0 {
 		c.MaxConns = DefaultMaxConns
@@ -77,6 +86,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
 	}
 	return c, nil
 }

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"net/http"
@@ -48,11 +49,14 @@ type batchServer interface {
 }
 
 // epMetrics is one endpoint's admission ledger (lock-free counters + gauges).
+// completed counts accepted requests whose serve finished — after a graceful
+// drain, accepted == completed proves the drain shed zero admitted work.
 type epMetrics struct {
-	accepted atomic.Uint64
-	shed     atomic.Uint64
-	inflight atomic.Int64
-	queued   atomic.Int64
+	accepted  atomic.Uint64
+	completed atomic.Uint64
+	shed      atomic.Uint64
+	inflight  atomic.Int64
+	queued    atomic.Int64
 }
 
 // Gateway serves an inner Server over a listener. Construct with New; close
@@ -75,9 +79,17 @@ type Gateway struct {
 	tel    *obs.Telemetry
 	tracer *obs.Tracer
 
+	draining  atomic.Bool // set at the top of Close; /readyz flips to 503
 	closeOnce sync.Once
 	closeErr  error
 	done      chan struct{} // closed when the accept loop exits
+}
+
+// faultCounting is implemented by a faultnet-wrapped listener; the gateway
+// publishes its tally as liveupdate_wire_faults_total (zero otherwise), so
+// the metric exists on every gateway and scrape assertions never flake.
+type faultCounting interface {
+	FaultsTotal() uint64
 }
 
 // New starts a gateway serving inner on ln. The listener is consumed: the
@@ -121,6 +133,8 @@ func New(inner Server, ln net.Listener, cfg Config) (*Gateway, error) {
 	mux.HandleFunc("POST /serve.bin", g.handleServeBin)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /info", g.handleInfo)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", g.handleVars)
 	mux.HandleFunc("GET /trace", g.handleTrace)
@@ -162,7 +176,19 @@ func (g *Gateway) registerWireInstruments() {
 			"Wire requests admitted and served on "+path+".", m.accepted.Load)
 		reg.CounterFunc("liveupdate_wire_"+slug+"_shed_total",
 			"Wire requests shed with 429 on "+path+".", m.shed.Load)
+		reg.CounterFunc("liveupdate_wire_"+slug+"_completed_total",
+			"Accepted wire requests whose serve finished on "+path+".", m.completed.Load)
 	}
+	// Always registered: zero on an unfaulted listener, the injected-fault
+	// tally when the listener is wrapped by internal/faultnet.
+	reg.CounterFunc("liveupdate_wire_faults_total",
+		"Network faults injected into this gateway's listener by the faultnet harness.",
+		func() uint64 {
+			if fc, ok := g.ln.(faultCounting); ok {
+				return fc.FaultsTotal()
+			}
+			return 0
+		})
 	reg.GaugeFunc("liveupdate_wire_inflight",
 		"Wire requests being served right now (all endpoints).",
 		func() float64 { inflight, _ := g.gate.occupancy(); return float64(inflight) })
@@ -178,18 +204,59 @@ func (g *Gateway) Telemetry() *obs.Telemetry { return g.tel }
 // Addr returns the listener's address (useful with ":0" listeners).
 func (g *Gateway) Addr() net.Addr { return g.ln.Addr() }
 
-// Close gracefully shuts the gateway down: in-flight requests get a grace
-// period to finish, then the listener closes. Idempotent.
+// BeginDrain flips readiness to 503 without touching the listener: existing
+// and new requests still serve, but a readiness-aware balancer stops routing
+// here. Call it ahead of Close to give the balancer time to react — the
+// two-phase restart that sheds zero requests end to end.
+func (g *Gateway) BeginDrain() { g.draining.Store(true) }
+
+// Close drains the gateway gracefully: readiness flips to 503, the listener
+// stops accepting, in-flight and queued requests get up to DrainTimeout to
+// finish, and only then is anything force-closed — a restart behind a
+// readiness-aware balancer sheds zero accepted requests. Idempotent.
 func (g *Gateway) Close() error {
 	g.closeOnce.Do(func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		g.draining.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.DrainTimeout)
 		defer cancel()
-		if err := g.hs.Shutdown(ctx); err != nil && g.closeErr == nil {
-			g.closeErr = err
+		err := g.hs.Shutdown(ctx)
+		if err != nil {
+			// Drain deadline expired with requests still in flight: force
+			// close the stragglers, but report the incomplete drain.
+			g.hs.Close()
+			if g.closeErr == nil {
+				g.closeErr = fmt.Errorf("netserve: drain timeout after %v: %w", g.cfg.DrainTimeout, err)
+			}
 		}
 		<-g.done
 	})
 	return g.closeErr
+}
+
+// Draining reports whether Close has begun.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// handleHealthz is liveness: the process is up and answering. It stays 200
+// through a drain — a draining gateway is alive, just not ready.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status := "ok"
+	if g.draining.Load() {
+		status = "draining"
+	}
+	fmt.Fprintf(w, `{"status":%q}`+"\n", status)
+}
+
+// handleReadyz is readiness: 200 while accepting traffic, 503 once draining
+// so balancers stop routing here before the listener actually closes.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if g.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ready"}`)
 }
 
 // Serve delegates to the inner server in-process. The admission gate is not
@@ -209,11 +276,12 @@ func (g *Gateway) WireStats() []core.EndpointStats {
 	out := make([]core.EndpointStats, 0, len(g.eps))
 	for path, m := range g.eps {
 		out = append(out, core.EndpointStats{
-			Endpoint: path,
-			Accepted: m.accepted.Load(),
-			Shed:     m.shed.Load(),
-			Inflight: int(m.inflight.Load()),
-			Queued:   int(m.queued.Load()),
+			Endpoint:  path,
+			Accepted:  m.accepted.Load(),
+			Completed: m.completed.Load(),
+			Shed:      m.shed.Load(),
+			Inflight:  int(m.inflight.Load()),
+			Queued:    int(m.queued.Load()),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
@@ -276,6 +344,7 @@ func (g *Gateway) handleServe(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := g.inner.Serve(sample)
 	release()
+	ep.completed.Add(1)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -312,6 +381,7 @@ func (g *Gateway) handleServeBin(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	release()
+	ep.completed.Add(1)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -367,8 +437,16 @@ func (g *Gateway) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, info)
 }
 
+// BodyChecksumHeader carries the client's CRC-32 (IEEE, lowercase hex) of
+// the request body. When present, the gateway verifies it before decoding:
+// a mismatch — a frame damaged between the client and the serving path — is
+// rejected with 400 so the client retries with an intact copy, instead of a
+// bit-flipped body being served as a silently different sample.
+const BodyChecksumHeader = "X-Liveupdate-Crc32"
+
 // readBody reads a request body bounded at cap bytes, translating the
-// over-limit error to 413 before any decoding work happens.
+// over-limit error to 413 before any decoding work happens, and verifies
+// the optional end-to-end checksum.
 func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
@@ -380,6 +458,14 @@ func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool
 			httpError(w, http.StatusBadRequest, fmt.Errorf("netserve: reading body: %w", err))
 		}
 		return nil, false
+	}
+	if want := r.Header.Get(BodyChecksumHeader); want != "" {
+		sum, err := strconv.ParseUint(want, 16, 32)
+		if err != nil || uint32(sum) != crc32.ChecksumIEEE(body) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("netserve: body integrity check failed (%s mismatch)", BodyChecksumHeader))
+			return nil, false
+		}
 	}
 	return body, true
 }

@@ -60,6 +60,7 @@ import (
 	"liveupdate/internal/dlrm"
 	"liveupdate/internal/driver"
 	"liveupdate/internal/experiments"
+	"liveupdate/internal/faultnet"
 	"liveupdate/internal/fleet"
 	"liveupdate/internal/netclient"
 	"liveupdate/internal/netserve"
@@ -70,7 +71,7 @@ import (
 )
 
 // Version identifies this reproduction release.
-const Version = "2.6.0"
+const Version = "2.7.0"
 
 // Server is the unified serving abstraction: one request in, a scored
 // response out, plus a consistent statistics snapshot. Both the single-node
@@ -312,6 +313,7 @@ type config struct {
 	listener  net.Listener
 	admission AdmissionConfig
 	telemetry *obs.Telemetry
+	faultPlan FaultPlan
 }
 
 // WithProfile selects the dataset/workload profile (required unless a legacy
@@ -596,6 +598,46 @@ func ServerTelemetry(srv Server) *Telemetry {
 	return nil
 }
 
+// FaultPlan is a named, seeded network-fault-injection schedule for the wire
+// path: weighted clauses of latency, reset, blackhole, truncate, and corrupt
+// faults, applied deterministically per connection from the plan seed. See
+// ParseFaultPlan for the grammar and WithFaultInjection to arm one.
+type FaultPlan = faultnet.Plan
+
+// FaultClass names one injected fault kind (latency, reset, blackhole,
+// truncate, corrupt).
+type FaultClass = faultnet.Class
+
+// FaultClasses lists every fault class in plan-grammar order.
+func FaultClasses() []FaultClass { return faultnet.Classes() }
+
+// ParseFaultPlan parses the fault-plan grammar — clauses separated by ';',
+// each "class(key=value,...)":
+//
+//	latency(p=0.2,min=1ms,max=20ms); reset(p=0.05); corrupt(p=0.01,bits=3)
+//
+// Keys: p (per-read probability), min/max (latency bounds), stall (blackhole
+// hang), bytes (truncate cap), bits (corrupt bit flips). Hostile or mistyped
+// values fail loudly. An empty string parses to a disabled plan. Set
+// Plan.Seed before arming it; the same seed replays the same per-connection
+// fault sequence.
+func ParseFaultPlan(s string) (FaultPlan, error) { return faultnet.ParsePlan(s) }
+
+// WithFaultInjection arms deterministic network chaos on the wire front end:
+// every connection the WithListener gateway accepts reads its inbound bytes
+// through the plan's fault clauses, seeded per connection from the plan
+// seed. Faults touch only inbound requests — a request can be delayed,
+// reset, stalled, truncated, or corrupted on its way in, but an accepted
+// request always completes and responds — so chaos moves requests around on
+// the wall clock without ever changing virtual-time statistics. Requires
+// WithListener; a disabled plan (no clauses) is a no-op.
+func WithFaultInjection(plan FaultPlan) Option {
+	return optionFunc(func(c *config) error {
+		c.faultPlan = plan
+		return nil
+	})
+}
+
 // AdmissionConfig is the wire front end's admission policy: MaxConns bounds
 // accepted connections, MaxInflight bounds concurrently served wire
 // requests, QueueDepth bounds the FIFO wait queue, and SLABudget (when
@@ -729,7 +771,14 @@ func New(opts ...Option) (Server, error) {
 		if c.admission.Telemetry == nil {
 			c.admission.Telemetry = c.telemetry
 		}
-		return netserve.New(srv, c.listener, c.admission)
+		ln := c.listener
+		if c.faultPlan.Enabled() {
+			ln = faultnet.WrapListener(ln, c.faultPlan)
+		}
+		return netserve.New(srv, ln, c.admission)
+	}
+	if c.faultPlan.Enabled() {
+		return nil, fmt.Errorf("liveupdate: WithFaultInjection requires WithListener — faults live on the wire")
 	}
 	return srv, nil
 }

@@ -185,10 +185,10 @@ func TestRunExperimentUnknownIDError(t *testing.T) {
 
 func TestExperimentIDsStable(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 23 {
-		t.Fatalf("expected 23 experiments, got %d", len(ids))
+	if len(ids) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(ids))
 	}
-	for _, want := range []string{"fig14", "table3", "fig16", "fig19", "elastic", "wire", "syncscale", "kernels"} {
+	for _, want := range []string{"fig14", "table3", "fig16", "fig19", "elastic", "wire", "faultwire", "syncscale", "kernels"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

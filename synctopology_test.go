@@ -25,6 +25,11 @@ func TestWithSyncTopologyPublicAPI(t *testing.T) {
 		srv, err := New(
 			WithProfile(p), WithSeed(42), WithReplicas(4),
 			WithRouter(HashRouter), WithSyncEvery(50*time.Millisecond),
+			// Barrier mode keeps wall-clock out of the delta payloads: in
+			// async mode the background merge reads state at scheduling-
+			// dependent moments, so SyncWireBytes would drift under load
+			// (see deltasync_test.go for the same pin).
+			WithSyncMode(SyncModeBarrier),
 			WithSyncTopology(topo), WithDeltaSync(true), WithCompression(3),
 		)
 		if err != nil {
